@@ -1,0 +1,187 @@
+package alewife_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (Section 4). Wall-clock time here measures the *simulator*; the numbers
+// that reproduce the paper are the simulated-cycle metrics reported via
+// b.ReportMetric (sim-cycles, and sim-MB/s where the paper uses
+// bandwidth). Full sweeps with paper-value columns are printed by
+// cmd/alewife-bench; EXPERIMENTS.md records a complete run.
+//
+// Benchmarks default to a 16-node machine so `go test -bench .` stays
+// fast; run cmd/alewife-bench for the paper's 64-node configuration.
+
+import (
+	"testing"
+
+	"alewife"
+	"alewife/internal/apps"
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+const benchNodes = 16
+
+func newRT(mode core.Mode) *core.RT {
+	return alewife.NewRuntime(alewife.NewMachine(benchNodes), mode)
+}
+
+// --- Section 4.2, barrier table -------------------------------------------
+
+func benchBarrier(b *testing.B, mode core.Mode) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		rt := newRT(mode)
+		const rounds = 6
+		total := rt.SPMD(func(p *machine.Proc) {
+			for r := 0; r < rounds; r++ {
+				rt.Barrier().Sync(p)
+			}
+		})
+		cycles = total / rounds
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles/barrier")
+}
+
+func BenchmarkBarrierSharedMemory(b *testing.B) { benchBarrier(b, core.ModeSharedMemory) }
+
+func BenchmarkBarrierMessage(b *testing.B) { benchBarrier(b, core.ModeHybrid) }
+
+// --- Section 4.3, remote thread invocation --------------------------------
+
+func benchInvoke(b *testing.B, mode core.Mode) {
+	var tInvoker, tInvokee uint64
+	for i := 0; i < b.N; i++ {
+		rt := newRT(mode)
+		rt.Run(func(tc *core.TC) uint64 {
+			f := rt.NewFuture(tc.ID())
+			var started alewife.Time
+			task := rt.NewInvokeTask(func(c *core.TC) {
+				c.P.Flush()
+				started = c.P.Ctx.Now()
+				f.Resolve(c, 1)
+			})
+			tc.P.Flush()
+			t0 := tc.P.Ctx.Now()
+			rt.Invoke(tc.P, benchNodes/2, task)
+			tc.P.Flush()
+			tInvoker = tc.P.Ctx.Now() - t0
+			f.Touch(tc)
+			tInvokee = started - t0
+			return 0
+		})
+	}
+	b.ReportMetric(float64(tInvoker), "sim-cycles-Tinvoker")
+	b.ReportMetric(float64(tInvokee), "sim-cycles-Tinvokee")
+}
+
+func BenchmarkInvokeSharedMemory(b *testing.B) { benchInvoke(b, core.ModeSharedMemory) }
+
+func BenchmarkInvokeMessage(b *testing.B) { benchInvoke(b, core.ModeHybrid) }
+
+// --- Section 4.4, Figure 7: memory-to-memory copy -------------------------
+
+func benchMemcpy(b *testing.B, kind apps.CopyKind, bytes int) {
+	var r apps.MemcpyResult
+	for i := 0; i < b.N; i++ {
+		rt := newRT(core.ModeHybrid)
+		r = apps.Memcpy(rt, 1, bytes, kind)
+	}
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+	b.ReportMetric(r.MBps(33), "sim-MB/s")
+}
+
+func BenchmarkMemcpyNoPrefetch256(b *testing.B) { benchMemcpy(b, apps.CopyNoPrefetch, 256) }
+
+func BenchmarkMemcpyPrefetch256(b *testing.B) { benchMemcpy(b, apps.CopyPrefetch, 256) }
+
+func BenchmarkMemcpyMessage256(b *testing.B) { benchMemcpy(b, apps.CopyMessage, 256) }
+
+func BenchmarkMemcpyNoPrefetch4K(b *testing.B) { benchMemcpy(b, apps.CopyNoPrefetch, 4096) }
+
+func BenchmarkMemcpyPrefetch4K(b *testing.B) { benchMemcpy(b, apps.CopyPrefetch, 4096) }
+
+func BenchmarkMemcpyMessage4K(b *testing.B) { benchMemcpy(b, apps.CopyMessage, 4096) }
+
+// --- Section 4.4, Figure 8: accum ------------------------------------------
+
+func BenchmarkAccumSharedMemory(b *testing.B) {
+	var r apps.AccumResult
+	for i := 0; i < b.N; i++ {
+		r = apps.AccumSM(alewife.NewMachine(benchNodes), 1, 512)
+	}
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+}
+
+func BenchmarkAccumMessage(b *testing.B) {
+	var r apps.AccumResult
+	for i := 0; i < b.N; i++ {
+		r = apps.AccumMP(newRT(core.ModeHybrid), 1, 512)
+	}
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+}
+
+// --- Section 4.5, Figure 9: grain ------------------------------------------
+
+func benchGrain(b *testing.B, mode core.Mode, delay uint64) {
+	var r apps.GrainResult
+	for i := 0; i < b.N; i++ {
+		r = apps.GrainParallel(newRT(mode), 9, delay)
+	}
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+}
+
+func BenchmarkGrainFineSharedMemory(b *testing.B) { benchGrain(b, core.ModeSharedMemory, 0) }
+
+func BenchmarkGrainFineHybrid(b *testing.B) { benchGrain(b, core.ModeHybrid, 0) }
+
+func BenchmarkGrainCoarseSharedMemory(b *testing.B) { benchGrain(b, core.ModeSharedMemory, 1000) }
+
+func BenchmarkGrainCoarseHybrid(b *testing.B) { benchGrain(b, core.ModeHybrid, 1000) }
+
+// --- Section 4.5, Figure 10: aq --------------------------------------------
+
+func benchAQ(b *testing.B, mode core.Mode) {
+	var r apps.AQResult
+	for i := 0; i < b.N; i++ {
+		r = apps.AQParallel(newRT(mode), 0.02)
+	}
+	b.ReportMetric(float64(r.Cycles), "sim-cycles")
+}
+
+func BenchmarkAQSharedMemory(b *testing.B) { benchAQ(b, core.ModeSharedMemory) }
+
+func BenchmarkAQHybrid(b *testing.B) { benchAQ(b, core.ModeHybrid) }
+
+// --- Section 4.6, Figure 11: jacobi ----------------------------------------
+
+func benchJacobi(b *testing.B, mode core.Mode, grid int) {
+	var r apps.JacobiResult
+	for i := 0; i < b.N; i++ {
+		r = apps.Jacobi(newRT(mode), grid, 8)
+	}
+	b.ReportMetric(float64(r.CyclesPerIter), "sim-cycles/iter")
+}
+
+func BenchmarkJacobi32SharedMemory(b *testing.B) { benchJacobi(b, core.ModeSharedMemory, 32) }
+
+func BenchmarkJacobi32Message(b *testing.B) { benchJacobi(b, core.ModeHybrid, 32) }
+
+func BenchmarkJacobi128SharedMemory(b *testing.B) { benchJacobi(b, core.ModeSharedMemory, 128) }
+
+func BenchmarkJacobi128Message(b *testing.B) { benchJacobi(b, core.ModeHybrid, 128) }
+
+// --- Simulator throughput (host-side sanity) --------------------------------
+
+// BenchmarkSimulatorEventRate measures raw engine throughput: how many
+// simulated barrier episodes per host second (useful when hacking on the
+// engine itself).
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rt := newRT(core.ModeHybrid)
+		rt.SPMD(func(p *machine.Proc) {
+			for r := 0; r < 20; r++ {
+				rt.Barrier().Sync(p)
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+// Command alewife-bench regenerates the tables and figures of the paper's
+// evaluation section on the simulated Alewife machine.
+//
+// Usage:
+//
+//	alewife-bench -list
+//	alewife-bench -experiment fig7
+//	alewife-bench -all [-nodes 64] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alewife/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	exp := flag.String("experiment", "", "run one experiment by id")
+	all := flag.Bool("all", false, "run every experiment")
+	nodes := flag.Int("nodes", 64, "number of processors")
+	quick := flag.Bool("quick", false, "trimmed parameter sweeps")
+	csvDir := flag.String("csv", "", "also write <experiment>.csv files to this directory")
+	flag.Parse()
+
+	cfg := bench.Config{Nodes: *nodes, Quick: *quick, CSVDir: *csvDir}
+	switch {
+	case *list:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+	case *exp != "":
+		e, ok := bench.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Printf("==> %s: %s\n", e.ID, e.Title)
+		e.Run(cfg, os.Stdout)
+	case *all:
+		bench.RunAll(cfg, os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

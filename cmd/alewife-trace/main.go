@@ -1,0 +1,67 @@
+// Command alewife-trace runs a small workload with event tracing enabled
+// and prints the event stream plus per-kind and per-node summaries — a
+// window into what the simulated machine actually does: coherence misses
+// and fills, invalidations, recalls, message traffic, scheduling.
+//
+// Usage:
+//
+//	alewife-trace [-nodes 8] [-mode hybrid|sm] [-workload grain|jacobi|barrier] [-tail 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alewife"
+	"alewife/internal/apps"
+	"alewife/internal/machine"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "number of processors")
+	modeStr := flag.String("mode", "hybrid", "runtime mode: hybrid or sm")
+	workload := flag.String("workload", "grain", "workload: grain, jacobi or barrier")
+	tail := flag.Int("tail", 40, "trace events to print")
+	flag.Parse()
+
+	mode := alewife.Hybrid
+	if *modeStr == "sm" {
+		mode = alewife.SharedMemory
+	} else if *modeStr != "hybrid" {
+		fmt.Fprintln(os.Stderr, "mode must be hybrid or sm")
+		os.Exit(1)
+	}
+
+	m := alewife.NewMachine(*nodes)
+	buf := m.EnableTrace(1 << 16)
+	rt := alewife.NewRuntime(m, mode)
+
+	switch *workload {
+	case "grain":
+		r := apps.GrainParallel(rt, 7, 100)
+		fmt.Printf("grain depth 7, l=100, %v mode: sum=%d in %d cycles\n\n", mode, r.Sum, r.Cycles)
+	case "jacobi":
+		r := apps.Jacobi(rt, 32, 3)
+		fmt.Printf("jacobi 32x32, 3 iters, %v mode: %d cycles/iter\n\n", mode, r.CyclesPerIter)
+	case "barrier":
+		rt.SPMD(func(p *machine.Proc) {
+			for i := 0; i < 3; i++ {
+				rt.Barrier().Sync(p)
+			}
+		})
+		fmt.Printf("3 barrier episodes, %v mode, machine time %d cycles\n\n", mode, m.Eng.Now())
+	default:
+		fmt.Fprintln(os.Stderr, "unknown workload; use grain, jacobi or barrier")
+		os.Exit(1)
+	}
+
+	fmt.Printf("--- last %d events ---\n%s\n", *tail, buf.Format(*tail))
+	fmt.Printf("--- events by kind ---\n%s\n", buf.Summary())
+	fmt.Println("--- busiest nodes ---")
+	act := buf.NodeActivity()
+	for n := 0; n < *nodes; n++ {
+		fmt.Printf("n%-3d %6d\n", n, act[n])
+	}
+	fmt.Printf("\n--- machine counters ---\n%s", m.St.String())
+}

@@ -1,0 +1,60 @@
+// Barrier: the Section 4.2 experiment as a standalone program. A
+// combining-tree barrier runs over shared memory (arrival counters and
+// wake flags through the coherence protocol) and over messages (one packet
+// per arrival and wake-up, combined in interrupt handlers), across machine
+// sizes and tree arities.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"alewife"
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+func episode(nodes int, mode alewife.Mode, msgArity, smArity int) uint64 {
+	rt := alewife.NewRuntime(alewife.NewMachine(nodes), mode)
+	rt.Barrier().SetArity(msgArity, smArity)
+	const warm, meas = 2, 6
+	var start, end uint64
+	rt.SPMD(func(p *machine.Proc) {
+		for i := 0; i < warm; i++ {
+			rt.Barrier().Sync(p)
+		}
+		p.Flush()
+		if p.ID() == 0 {
+			start = p.Ctx.Now()
+		}
+		for i := 0; i < meas; i++ {
+			rt.Barrier().Sync(p)
+		}
+		p.Flush()
+		if p.ID() == 0 {
+			end = p.Ctx.Now()
+		}
+	})
+	return (end - start) / meas
+}
+
+func main() {
+	flag.Parse()
+
+	fmt.Println("combining-tree barrier, cycles per episode")
+	fmt.Printf("\n%-8s %16s %16s %8s\n", "procs", "shared-memory", "message", "ratio")
+	for _, n := range []int{4, 16, 64} {
+		sm := episode(n, alewife.SharedMemory, core.DefaultMsgArity, core.DefaultSMArity)
+		mp := episode(n, alewife.Hybrid, core.DefaultMsgArity, core.DefaultSMArity)
+		fmt.Printf("%-8d %16d %16d %8.2f\n", n, sm, mp, float64(sm)/float64(mp))
+	}
+
+	fmt.Printf("\ntree arity at 64 processors:\n%-8s %16s %16s\n", "arity", "shared-memory", "message")
+	for _, a := range []int{2, 4, 8, 16} {
+		sm := episode(64, alewife.SharedMemory, a, a)
+		mp := episode(64, alewife.Hybrid, a, a)
+		fmt.Printf("%-8d %16d %16d\n", a, sm, mp)
+	}
+	fmt.Println("\npaper (64 procs): shared-memory binary tree ~1650 cycles,")
+	fmt.Println("two-level 8-ary message tree ~660 cycles.")
+}

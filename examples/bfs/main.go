@@ -1,0 +1,52 @@
+// BFS: a dynamic, irregular workload — the kind of program whose
+// communication cannot be predicted at compile time, which is the paper's
+// core argument for hardware-supported shared memory plus messages. A
+// distributed graph is traversed level by level; cross-node edges cost a
+// remote atomic operation under the shared-memory runtime and one active
+// message under the hybrid runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"alewife"
+	"alewife/internal/apps"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "processors")
+	vertices := flag.Int("vertices", 1024, "graph vertices")
+	deg := flag.Int("degree", 4, "out-degree")
+	flag.Parse()
+
+	fmt.Printf("BFS over %d vertices (degree %d) on %d processors\n\n", *vertices, *deg, *nodes)
+
+	type run struct {
+		name string
+		mode alewife.Mode
+	}
+	var ref struct {
+		visited  int
+		levelSum uint64
+		set      bool
+	}
+	for _, r := range []run{{"shared-memory", alewife.SharedMemory}, {"hybrid", alewife.Hybrid}} {
+		rt := alewife.NewRuntime(alewife.NewMachine(*nodes), r.mode)
+		g := apps.NewBFSGraph(rt.M, *vertices, *deg)
+		if !ref.set {
+			ref.visited, ref.levelSum = g.BFSReference(0)
+			ref.set = true
+		}
+		res := apps.BFS(rt, g, 0)
+		status := "ok"
+		if res.Visited != ref.visited || res.LevelSum != ref.levelSum {
+			status = "WRONG"
+		}
+		fmt.Printf("%-14s %9d cycles  (%d levels, %d visited, checksum %s)\n",
+			r.name, res.Cycles, res.Levels, res.Visited, status)
+	}
+	fmt.Println("\nevery cross-node edge is a remote read-modify-write (shared memory)")
+	fmt.Println("or one small message handled at the owner (hybrid) — Section 2's")
+	fmt.Println("\"dynamic application\" argument, measurable.")
+}

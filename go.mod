@@ -1,0 +1,3 @@
+module alewife
+
+go 1.22

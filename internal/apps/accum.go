@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+)
+
+// accum (Section 4.4, Figure 8): sum a linear array of integers residing on
+// a remote node, consuming the data immediately without storing it.
+//
+//   - shared-memory version: a straightforward inner loop that prefetches
+//     ahead, so virtually all accesses hit in the cache;
+//   - message-passing version: first transfer the whole array into local
+//     memory with the bulk-copy mechanism, then sum entirely out of local
+//     memory — communication and computation fully serialized, which is
+//     why it loses to shared-memory here.
+
+// AccumAddCycles is the arithmetic cost per element.
+const AccumAddCycles = 2
+
+// AccumPrefetchLines is how far ahead (in cache lines) the shared-memory
+// loop prefetches; Alewife's transaction buffer holds 4 outstanding
+// transactions.
+const AccumPrefetchLines = 4
+
+// AccumResult carries one run's outcome.
+type AccumResult struct {
+	Sum    uint64
+	Cycles uint64
+}
+
+// AccumSM sums `words` doublewords living on srcNode from node 0 through
+// the shared-memory interface with prefetching.
+func AccumSM(m *machine.Machine, srcNode int, words uint64) AccumResult {
+	arr := m.Store.AllocOn(srcNode, words)
+	for i := uint64(0); i < words; i++ {
+		m.Store.Write(arr+mem.Addr(i), i+1)
+	}
+	var out AccumResult
+	m.Spawn(0, 0, "accum-sm", func(p *machine.Proc) {
+		p.Flush()
+		start := p.Ctx.Now()
+		var sum uint64
+		for i := uint64(0); i < words; i++ {
+			if i%mem.LineWords == 0 {
+				ahead := i + AccumPrefetchLines*mem.LineWords
+				if ahead < words {
+					p.Prefetch(arr+mem.Addr(ahead), false)
+				}
+			}
+			sum += p.Read(arr + mem.Addr(i))
+			p.Elapse(AccumAddCycles)
+		}
+		p.Flush()
+		out.Sum = sum
+		out.Cycles = p.Ctx.Now() - start
+	})
+	m.Run()
+	return out
+}
+
+// AccumMP pulls the array into local memory with one bulk message, then
+// sums it locally.
+func AccumMP(rt *core.RT, srcNode int, words uint64) AccumResult {
+	m := rt.M
+	arr := m.Store.AllocOn(srcNode, words)
+	buf := m.Store.AllocOn(0, words)
+	for i := uint64(0); i < words; i++ {
+		m.Store.Write(arr+mem.Addr(i), i+1)
+	}
+	var out AccumResult
+	m.Spawn(0, 0, "accum-mp", func(p *machine.Proc) {
+		p.Flush()
+		start := p.Ctx.Now()
+		rt.FetchMP(p, srcNode, buf, arr, words)
+		var sum uint64
+		for i := uint64(0); i < words; i++ {
+			sum += p.Read(buf + mem.Addr(i))
+			p.Elapse(AccumAddCycles)
+		}
+		p.Flush()
+		out.Sum = sum
+		out.Cycles = p.Ctx.Now() - start
+	})
+	m.Run()
+	return out
+}
+
+// AccumExpected returns the expected sum for verification.
+func AccumExpected(words uint64) uint64 { return words * (words + 1) / 2 }

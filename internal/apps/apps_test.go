@@ -1,0 +1,160 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+func newRT(nodes int, mode core.Mode) *core.RT {
+	return core.NewDefault(machine.New(machine.DefaultConfig(nodes)), mode)
+}
+
+func TestGrainSequentialCalibration(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(1))
+	r := GrainSequential(m, 12, 0)
+	if r.Sum != 4096 {
+		t.Fatalf("sum = %d, want 4096", r.Sum)
+	}
+	ms := m.Micros(r.Cycles) / 1000
+	t.Logf("grain seq depth 12 l=0: %.2f ms (paper: 7.1 ms)", ms)
+	if ms < 3 || ms > 14 {
+		t.Errorf("sequential time %.2f ms far from paper's 7.1 ms", ms)
+	}
+
+	m2 := machine.New(machine.DefaultConfig(1))
+	r2 := GrainSequential(m2, 12, 1000)
+	ms2 := m2.Micros(r2.Cycles) / 1000
+	t.Logf("grain seq depth 12 l=1000: %.2f ms (paper: 131.2 ms)", ms2)
+	if ms2 < 100 || ms2 > 160 {
+		t.Errorf("sequential time %.2f ms far from paper's 131.2 ms", ms2)
+	}
+}
+
+func TestGrainParallelCorrectAndFaster(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		seq := GrainSequential(machine.New(machine.DefaultConfig(1)), 8, 200)
+		rt := newRT(8, mode)
+		par := GrainParallel(rt, 8, 200)
+		if par.Sum != 256 {
+			t.Fatalf("%v: sum = %d, want 256", mode, par.Sum)
+		}
+		sp := float64(seq.Cycles) / float64(par.Cycles)
+		t.Logf("%v: grain depth 8 l=200 on 8 nodes: speedup %.2f", mode, sp)
+		if sp < 1.5 {
+			t.Errorf("%v: speedup %.2f too low", mode, sp)
+		}
+	}
+}
+
+func TestGrainHybridBeatsSMFineGrain(t *testing.T) {
+	// The paper's headline scheduler result at fine grain (Figure 9).
+	sm := GrainParallel(newRT(16, core.ModeSharedMemory), 9, 0)
+	hy := GrainParallel(newRT(16, core.ModeHybrid), 9, 0)
+	t.Logf("grain depth 9 l=0 on 16 nodes: SM=%d cycles, hybrid=%d cycles (ratio %.2f)",
+		sm.Cycles, hy.Cycles, float64(sm.Cycles)/float64(hy.Cycles))
+	if hy.Cycles >= sm.Cycles {
+		t.Errorf("hybrid (%d) not faster than SM (%d) at fine grain", hy.Cycles, sm.Cycles)
+	}
+}
+
+func TestAQSequentialAndParallelAgree(t *testing.T) {
+	seqM := machine.New(machine.DefaultConfig(1))
+	seq := AQSequential(seqM, 0.02)
+	if seq.Cells == 0 {
+		t.Fatal("aq did not evaluate any cells")
+	}
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		rt := newRT(8, mode)
+		par := AQParallel(rt, 0.02)
+		if math.Abs(par.Integral-seq.Integral) > 1e-9 {
+			t.Fatalf("%v: integral %.12f != sequential %.12f", mode, par.Integral, seq.Integral)
+		}
+		if par.Cycles >= seq.Cycles {
+			t.Errorf("%v: parallel aq (%d) not faster than sequential (%d)", mode, par.Cycles, seq.Cycles)
+		}
+	}
+}
+
+func TestAQIrregular(t *testing.T) {
+	// The integrand must force an irregular tree: more cells at tighter
+	// tolerance, and not a perfectly balanced power of four.
+	loose := AQSequential(machine.New(machine.DefaultConfig(1)), 0.05)
+	tight := AQSequential(machine.New(machine.DefaultConfig(1)), 0.005)
+	if tight.Cells <= loose.Cells {
+		t.Fatalf("tolerance did not scale problem size: %d vs %d cells", loose.Cells, tight.Cells)
+	}
+	isPow4 := func(n int) bool {
+		for n > 1 {
+			if n%4 != 0 {
+				return false
+			}
+			n /= 4
+		}
+		return true
+	}
+	if isPow4(loose.Cells) && isPow4(tight.Cells) {
+		t.Errorf("call tree looks regular: %d and %d cells", loose.Cells, tight.Cells)
+	}
+}
+
+func TestJacobiMatchesReference(t *testing.T) {
+	const g, iters = 16, 5
+	want := JacobiReference(g, iters)
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		rt := newRT(4, mode)
+		r := Jacobi(rt, g, iters)
+		if math.Abs(r.Checksum-want) > 1e-9 {
+			t.Fatalf("%v: checksum %.12f, want %.12f", mode, r.Checksum, want)
+		}
+	}
+}
+
+func TestJacobiSmallGridsFavorSM(t *testing.T) {
+	// Figure 11's crossover claim, small side: with little data per border,
+	// shared-memory exchange should not lose (it wins slightly in the
+	// paper).
+	sm := Jacobi(newRT(16, core.ModeSharedMemory), 32, 4)
+	mp := Jacobi(newRT(16, core.ModeHybrid), 32, 4)
+	t.Logf("jacobi 32x32 on 16 nodes: SM=%d MP=%d cycles/iter", sm.CyclesPerIter, mp.CyclesPerIter)
+	ratio := float64(mp.CyclesPerIter) / float64(sm.CyclesPerIter)
+	if ratio < 0.65 {
+		t.Errorf("MP wins big (%.2f) at a small grid; paper has SM slightly ahead", ratio)
+	}
+}
+
+func TestAccumCorrectBothWays(t *testing.T) {
+	const words = 128
+	smM := machine.New(machine.DefaultConfig(4))
+	sm := AccumSM(smM, 3, words)
+	if sm.Sum != AccumExpected(words) {
+		t.Fatalf("SM sum = %d, want %d", sm.Sum, AccumExpected(words))
+	}
+	rt := newRT(4, core.ModeHybrid)
+	mp := AccumMP(rt, 3, words)
+	if mp.Sum != AccumExpected(words) {
+		t.Fatalf("MP sum = %d, want %d", mp.Sum, AccumExpected(words))
+	}
+	t.Logf("accum %d words: SM=%d cycles, MP=%d cycles", words, sm.Cycles, mp.Cycles)
+	if mp.Cycles <= sm.Cycles {
+		t.Errorf("Figure 8 shape violated: MP (%d) should be slower than SM (%d)", mp.Cycles, sm.Cycles)
+	}
+}
+
+func TestMemcpyShapes(t *testing.T) {
+	// Figure 7 ordering at 4 KB: message < no-prefetch < prefetch.
+	res := map[CopyKind]MemcpyResult{}
+	for _, k := range []CopyKind{CopyNoPrefetch, CopyPrefetch, CopyMessage} {
+		rt := newRT(4, core.ModeHybrid)
+		res[k] = Memcpy(rt, 3, 4096, k)
+	}
+	t.Logf("4KB copy: msg=%d nopf=%d pf=%d cycles (%.1f / %.1f / %.1f MB/s)",
+		res[CopyMessage].Cycles, res[CopyNoPrefetch].Cycles, res[CopyPrefetch].Cycles,
+		res[CopyMessage].MBps(33), res[CopyNoPrefetch].MBps(33), res[CopyPrefetch].MBps(33))
+	if !(res[CopyMessage].Cycles < res[CopyNoPrefetch].Cycles &&
+		res[CopyNoPrefetch].Cycles < res[CopyPrefetch].Cycles) {
+		t.Fatalf("Figure 7 ordering violated")
+	}
+}

@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"math"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+// aq: adaptive quadrature of a bivariate function over a rectangular
+// domain (Section 4.5, Figure 10). The cell estimator compares a coarse
+// (corner-average) and a fine (3x3 Simpson-like) rule; cells that disagree
+// beyond the threshold split into four quadrants, recursing more deeply
+// where the integrand is rough — an irregular call tree, exactly what lazy
+// task creation is for. Problem size is controlled by the smoothness
+// threshold, as in the paper.
+
+// AQEvalCycles is the charged cost of one integrand evaluation.
+const AQEvalCycles = 60
+
+// AQNodeCycles is the per-cell bookkeeping cost.
+const AQNodeCycles = 30
+
+// aqF is the fixed integrand: smooth background plus a sharp off-center
+// ridge so the recursion depth varies strongly across the domain.
+func aqF(x, y float64) float64 {
+	return math.Sin(3*x)*math.Cos(2*y) + 5/(0.05+25*(x-0.3)*(x-0.3)+40*(y-0.7)*(y-0.7))
+}
+
+// aqDomain is the fixed domain of integration.
+const aqX0, aqX1, aqY0, aqY1 = 0.0, 1.0, 0.0, 1.0
+
+// aqRules evaluates the coarse and fine estimates for one cell, charging
+// the evaluation cost to charge (9 evaluations, corners shared in spirit
+// but charged flat, matching a straightforward implementation).
+func aqRules(charge func(uint64), x0, x1, y0, y1 float64) (coarse, fine float64) {
+	charge(9*AQEvalCycles + AQNodeCycles)
+	area := (x1 - x0) * (y1 - y0)
+	coarse = area * (aqF(x0, y0) + aqF(x1, y0) + aqF(x0, y1) + aqF(x1, y1)) / 4
+	xm, ym := (x0+x1)/2, (y0+y1)/2
+	fine = area * (aqF(x0, y0) + aqF(x1, y0) + aqF(x0, y1) + aqF(x1, y1) +
+		4*aqF(xm, ym) + 2*(aqF(xm, y0)+aqF(xm, y1)+aqF(x0, ym)+aqF(x1, ym))) / 16
+	return coarse, fine
+}
+
+// maxAQDepth bounds the recursion so a pathological threshold terminates.
+const maxAQDepth = 12
+
+// AQResult carries one aq run's outcome.
+type AQResult struct {
+	Integral float64
+	Cells    int // leaf cells evaluated (problem-size indicator)
+	Cycles   uint64
+}
+
+// AQSequential integrates on a single node with plain recursion.
+func AQSequential(m *machine.Machine, tol float64) AQResult {
+	var out AQResult
+	m.Spawn(0, 0, "aq-seq", func(p *machine.Proc) {
+		p.Flush()
+		start := p.Ctx.Now()
+		var rec func(x0, x1, y0, y1 float64, d int) float64
+		rec = func(x0, x1, y0, y1 float64, d int) float64 {
+			coarse, fine := aqRules(p.Elapse, x0, x1, y0, y1)
+			if d >= maxAQDepth || math.Abs(fine-coarse) <= tol*(x1-x0)*(y1-y0) {
+				out.Cells++
+				return fine
+			}
+			xm, ym := (x0+x1)/2, (y0+y1)/2
+			return rec(x0, xm, y0, ym, d+1) + rec(xm, x1, y0, ym, d+1) +
+				rec(x0, xm, ym, y1, d+1) + rec(xm, x1, ym, y1, d+1)
+		}
+		out.Integral = rec(aqX0, aqX1, aqY0, aqY1, 0)
+		p.Flush()
+		out.Cycles = p.Ctx.Now() - start
+	})
+	m.Run()
+	return out
+}
+
+// AQParallel integrates under the runtime scheduler: each subdividing cell
+// forks three quadrants and evaluates the fourth inline.
+func AQParallel(rt *core.RT, tol float64) AQResult {
+	var out AQResult
+	var rec func(tc *core.TC, x0, x1, y0, y1 float64, d int) float64
+	rec = func(tc *core.TC, x0, x1, y0, y1 float64, d int) float64 {
+		coarse, fine := aqRules(tc.Elapse, x0, x1, y0, y1)
+		if d >= maxAQDepth || math.Abs(fine-coarse) <= tol*(x1-x0)*(y1-y0) {
+			return fine
+		}
+		xm, ym := (x0+x1)/2, (y0+y1)/2
+		f1 := tc.Fork(func(c *core.TC) uint64 {
+			return math.Float64bits(rec(c, x0, xm, y0, ym, d+1))
+		})
+		f2 := tc.Fork(func(c *core.TC) uint64 {
+			return math.Float64bits(rec(c, xm, x1, y0, ym, d+1))
+		})
+		f3 := tc.Fork(func(c *core.TC) uint64 {
+			return math.Float64bits(rec(c, x0, xm, ym, y1, d+1))
+		})
+		v4 := rec(tc, xm, x1, ym, y1, d+1)
+		return v4 + math.Float64frombits(f1.Touch(tc)) +
+			math.Float64frombits(f2.Touch(tc)) + math.Float64frombits(f3.Touch(tc))
+	}
+	bits, cycles := rt.Run(func(tc *core.TC) uint64 {
+		return math.Float64bits(rec(tc, aqX0, aqX1, aqY0, aqY1, 0))
+	})
+	out.Integral = math.Float64frombits(bits)
+	out.Cycles = cycles
+	return out
+}

@@ -1,0 +1,229 @@
+package apps
+
+import (
+	"alewife/internal/cmmu"
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+)
+
+// Distributed breadth-first search: the paper's "dynamic application"
+// argument in executable form. Vertices are distributed round-robin;
+// adjacency lists live in their owner's memory; nobody can predict at
+// compile time which edges cross which nodes — exactly the irregular,
+// data-dependent communication Section 2.1 says compilers cannot optimize
+// and Section 2.2 says pure shared-memory handles at a price.
+//
+// Both versions are level-synchronized using the reducing combining-tree
+// barrier (global frontier size and message-quiescence counts ride the
+// barrier waves):
+//
+//   - shared-memory: a processor expanding its frontier discovers a vertex
+//     with an atomic test&set on the owner's visited word and appends it
+//     to the owner's frontier list with remote writes — fine-grained
+//     remote read-modify-writes per cross-node edge;
+//   - hybrid: each cross-node edge sends one small message to the owner,
+//     whose handler runs the test and the append locally — an
+//     active-messages traversal.
+
+// BFSGraph is a deterministic synthetic graph distributed over n nodes.
+type BFSGraph struct {
+	V      int
+	Deg    int
+	owners int
+	adj    [][]uint32 // host mirror of the adjacency lists
+
+	adjBase []mem.Addr // per-vertex adjacency storage in the owner's memory
+	visited []mem.Addr // per-vertex visited word in the owner's memory
+	// Per-node frontier list storage (simulated); host mirrors track the
+	// values.
+	frontier []mem.Addr
+	fcount   []mem.Addr
+}
+
+// owner maps a vertex to its home node.
+func (g *BFSGraph) owner(v uint32) int { return int(v) % g.owners }
+
+// NewBFSGraph builds a connected pseudo-random graph with out-degree deg,
+// its adjacency and traversal state distributed across the machine.
+func NewBFSGraph(m *machine.Machine, vertices, deg int) *BFSGraph {
+	n := m.Cfg.Nodes
+	g := &BFSGraph{V: vertices, Deg: deg, owners: n}
+	g.adj = make([][]uint32, vertices)
+	state := uint64(0x243f6a8885a308d3)
+	next := func(mod int) uint32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return uint32((state >> 33) % uint64(mod))
+	}
+	g.adjBase = make([]mem.Addr, vertices)
+	g.visited = make([]mem.Addr, vertices)
+	for v := 0; v < vertices; v++ {
+		// A ring edge keeps the graph connected; the rest are random.
+		g.adj[v] = append(g.adj[v], uint32((v+1)%vertices))
+		for d := 1; d < deg; d++ {
+			g.adj[v] = append(g.adj[v], next(vertices))
+		}
+		own := g.owner(uint32(v))
+		g.adjBase[v] = m.Store.AllocOn(own, uint64(deg))
+		for d, w := range g.adj[v] {
+			m.Store.Write(g.adjBase[v]+mem.Addr(d), uint64(w))
+		}
+		g.visited[v] = m.Store.AllocOn(own, mem.LineWords)
+	}
+	g.frontier = make([]mem.Addr, n)
+	g.fcount = make([]mem.Addr, n)
+	for i := 0; i < n; i++ {
+		g.frontier[i] = m.Store.AllocOn(i, uint64(vertices))
+		g.fcount[i] = m.Store.AllocOn(i, mem.LineWords)
+	}
+	return g
+}
+
+// BFSReference computes the visit count and level sum on the host.
+func (g *BFSGraph) BFSReference(root uint32) (visited int, levelSum uint64) {
+	lev := make([]int, g.V)
+	for i := range lev {
+		lev[i] = -1
+	}
+	lev[root] = 0
+	q := []uint32{root}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, w := range g.adj[v] {
+			if lev[w] < 0 {
+				lev[w] = lev[v] + 1
+				q = append(q, w)
+			}
+		}
+	}
+	for _, l := range lev {
+		if l >= 0 {
+			visited++
+			levelSum += uint64(l)
+		}
+	}
+	return visited, levelSum
+}
+
+// BFSResult carries one traversal's outcome.
+type BFSResult struct {
+	Visited  int
+	LevelSum uint64
+	Levels   int
+	Cycles   uint64
+}
+
+// bfsEdgeCycles is the compute charged per edge examined.
+const bfsEdgeCycles = 3
+
+// bfsVisitMsg is the hybrid visit message type.
+const bfsVisitMsg = 120
+
+// BFS runs the traversal from root under rt's mode.
+func BFS(rt *core.RT, g *BFSGraph, root uint32) BFSResult {
+	m := rt.M
+	n := rt.Cores()
+
+	// Frontiers are double-buffered by level parity: discoveries made while
+	// processing level l are appended to slot (l+1)&1, which nobody reads
+	// until every processor has passed the end-of-level barrier. (A single
+	// "next" list would let a fast processor append a level-l discovery to
+	// a slow peer's list before that peer snapshots it, running the vertex
+	// one level early.)
+	front := make([][2][]uint32, n)
+	levels := make([]uint64, n) // level sums accumulated per owner
+	visitedCnt := make([]uint64, n)
+	sent := make([]uint64, n)    // hybrid: visit messages sent by node
+	handled := make([]uint64, n) // hybrid: visit messages handled at node
+
+	if rt.Mode == core.ModeHybrid {
+		for i := 0; i < n; i++ {
+			i := i
+			m.Nodes[i].CMMU.Register(bfsVisitMsg, func(e *cmmu.Env) {
+				e.ReadOps(2)
+				e.Elapse(10) // software: test visited, append frontier
+				handled[i]++
+				w := uint32(e.Ops[0])
+				lvl := e.Ops[1]
+				if m.Store.Read(g.visited[w]) == 0 {
+					m.Store.Write(g.visited[w], 1)
+					slot := (lvl + 1) & 1
+					front[i][slot] = append(front[i][slot], w)
+					levels[i] += lvl
+					visitedCnt[i]++
+				}
+			})
+		}
+	}
+
+	// Seed the root into the level-1 slot.
+	m.Store.Write(g.visited[root], 1)
+	front[g.owner(root)][1] = append(front[g.owner(root)][1], root)
+	visitedCnt[g.owner(root)]++
+
+	var levelsRun int
+	total := rt.SPMD(func(p *machine.Proc) {
+		me := p.ID()
+		for lvl := uint64(1); ; lvl++ {
+			slot := lvl & 1
+			mine := front[me][slot]
+			front[me][slot] = nil // ready for level lvl+2 appends
+			for _, v := range mine {
+				// Read the adjacency list out of local memory.
+				for d := 0; d < g.Deg; d++ {
+					w := uint32(p.Read(g.adjBase[v] + mem.Addr(d)))
+					p.Elapse(bfsEdgeCycles)
+					own := g.owner(w)
+					if rt.Mode == core.ModeHybrid && own != me {
+						sent[me]++
+						p.SendMessage(cmmu.Descriptor{
+							Type: bfsVisitMsg,
+							Dst:  own,
+							Ops:  []uint64{uint64(w), lvl},
+						})
+						continue
+					}
+					// Shared-memory (or owner-local) discovery.
+					if p.TestSet(g.visited[w]) == 0 {
+						cnt := p.FetchAdd(g.fcount[own], 1)
+						p.Write(g.frontier[own]+mem.Addr(cnt%uint64(g.V)), uint64(w))
+						nslot := (lvl + 1) & 1
+						front[own][nslot] = append(front[own][nslot], w)
+						levels[own] += lvl
+						visitedCnt[own]++
+					}
+				}
+			}
+
+			// Hybrid quiescence: repeat the sent/handled global sums until
+			// they agree (no new sends can happen here, so agreement means
+			// every visit message has been delivered and handled).
+			for {
+				sentTot := rt.Barrier().SyncReduce(p, sent[me])
+				handledTot := rt.Barrier().SyncReduce(p, handled[me])
+				if sentTot == handledTot {
+					break
+				}
+				p.Elapse(50)
+				p.Flush()
+			}
+			// Global termination: total next-frontier size.
+			if rt.Barrier().SyncReduce(p, uint64(len(front[me][(lvl+1)&1]))) == 0 {
+				if me == 0 {
+					levelsRun = int(lvl)
+				}
+				return
+			}
+		}
+	})
+
+	var res BFSResult
+	res.Cycles = total
+	res.Levels = levelsRun
+	for i := 0; i < n; i++ {
+		res.Visited += int(visitedCnt[i])
+		res.LevelSum += levels[i]
+	}
+	return res
+}

@@ -1,0 +1,105 @@
+package apps
+
+import (
+	"testing"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+func bfsSetup(nodes, vertices, deg int, mode core.Mode) (*core.RT, *BFSGraph) {
+	rt := newRT(nodes, mode)
+	g := NewBFSGraph(rt.M, vertices, deg)
+	return rt, g
+}
+
+func TestBFSMatchesReferenceBothModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		rt, g := bfsSetup(4, 200, 3, mode)
+		wantV, wantL := g.BFSReference(0)
+		r := BFS(rt, g, 0)
+		if r.Visited != wantV || r.LevelSum != wantL {
+			t.Fatalf("%v: visited=%d levelsum=%d, want %d/%d",
+				mode, r.Visited, r.LevelSum, wantV, wantL)
+		}
+	}
+}
+
+func TestBFSVisitsEverything(t *testing.T) {
+	// The ring edge guarantees connectivity: every vertex is reached.
+	rt, g := bfsSetup(4, 128, 2, core.ModeHybrid)
+	r := BFS(rt, g, 5)
+	if r.Visited != 128 {
+		t.Fatalf("visited %d of 128", r.Visited)
+	}
+	if r.Levels == 0 {
+		t.Fatal("no levels recorded")
+	}
+}
+
+func TestBFSDifferentRoots(t *testing.T) {
+	for _, root := range []uint32{0, 7, 63} {
+		rt, g := bfsSetup(4, 64, 3, core.ModeSharedMemory)
+		wantV, wantL := g.BFSReference(root)
+		r := BFS(rt, g, root)
+		if r.Visited != wantV || r.LevelSum != wantL {
+			t.Fatalf("root %d: got %d/%d, want %d/%d", root, r.Visited, r.LevelSum, wantV, wantL)
+		}
+	}
+}
+
+func TestBFSSingleNode(t *testing.T) {
+	rt, g := bfsSetup(1, 64, 3, core.ModeHybrid)
+	wantV, wantL := g.BFSReference(0)
+	r := BFS(rt, g, 0)
+	if r.Visited != wantV || r.LevelSum != wantL {
+		t.Fatalf("1-node BFS wrong: %d/%d want %d/%d", r.Visited, r.LevelSum, wantV, wantL)
+	}
+}
+
+func TestBFSHybridBeatsSM(t *testing.T) {
+	// The dynamic-application headline: with most edges crossing nodes,
+	// active messages beat remote read-modify-writes.
+	smRT, smG := bfsSetup(8, 512, 4, core.ModeSharedMemory)
+	sm := BFS(smRT, smG, 0)
+	hyRT, hyG := bfsSetup(8, 512, 4, core.ModeHybrid)
+	hy := BFS(hyRT, hyG, 0)
+	if sm.Visited != hy.Visited || sm.LevelSum != hy.LevelSum {
+		t.Fatalf("modes disagree: %d/%d vs %d/%d", sm.Visited, sm.LevelSum, hy.Visited, hy.LevelSum)
+	}
+	t.Logf("BFS 512 vertices on 8 nodes: SM=%d cycles, hybrid=%d cycles (ratio %.2f)",
+		sm.Cycles, hy.Cycles, float64(sm.Cycles)/float64(hy.Cycles))
+	if hy.Cycles >= sm.Cycles {
+		t.Fatalf("hybrid BFS (%d) not faster than SM (%d)", hy.Cycles, sm.Cycles)
+	}
+}
+
+func TestBFSDeterministic(t *testing.T) {
+	run := func() uint64 {
+		rt, g := bfsSetup(4, 128, 3, core.ModeHybrid)
+		return BFS(rt, g, 0).Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("BFS nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestBFSGraphShape(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(4))
+	g := NewBFSGraph(m, 100, 5)
+	if g.V != 100 || g.Deg != 5 {
+		t.Fatal("graph size wrong")
+	}
+	for v, l := range g.adj {
+		if len(l) != 5 {
+			t.Fatalf("vertex %d has degree %d", v, len(l))
+		}
+		if l[0] != uint32((v+1)%100) {
+			t.Fatalf("ring edge missing at %d", v)
+		}
+	}
+	// Round-robin ownership.
+	if g.owner(0) != 0 || g.owner(5) != 1 || g.owner(7) != 3 {
+		t.Fatal("ownership mapping wrong")
+	}
+}

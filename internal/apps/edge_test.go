@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+func TestGrainDepthZero(t *testing.T) {
+	// A single leaf: no forks at all.
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		r := GrainParallel(newRT(2, mode), 0, 50)
+		if r.Sum != 1 {
+			t.Fatalf("%v: depth-0 sum = %d", mode, r.Sum)
+		}
+	}
+	seq := GrainSequential(machine.New(machine.DefaultConfig(1)), 0, 50)
+	if seq.Sum != 1 || seq.Cycles != GrainNodeCycles+50 {
+		t.Fatalf("sequential depth-0: sum=%d cycles=%d", seq.Sum, seq.Cycles)
+	}
+}
+
+func TestGrainSingleNodeMatchesWork(t *testing.T) {
+	// Parallel on one node: same answer, bounded overhead vs sequential.
+	seq := GrainSequential(machine.New(machine.DefaultConfig(1)), 7, 100)
+	par := GrainParallel(newRT(1, core.ModeHybrid), 7, 100)
+	if par.Sum != seq.Sum {
+		t.Fatalf("sums differ: %d vs %d", par.Sum, seq.Sum)
+	}
+	if par.Cycles < seq.Cycles {
+		t.Fatalf("parallel on 1 node faster than sequential: %d < %d", par.Cycles, seq.Cycles)
+	}
+	if par.Cycles > seq.Cycles*6 {
+		t.Fatalf("1-node scheduler overhead too big: %d vs %d", par.Cycles, seq.Cycles)
+	}
+}
+
+func TestJacobiSingleNode(t *testing.T) {
+	want := JacobiReference(8, 4)
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		r := Jacobi(newRT(1, mode), 8, 4)
+		if math.Abs(r.Checksum-want) > 1e-9 {
+			t.Fatalf("%v: 1-node checksum %.9f, want %.9f", mode, r.Checksum, want)
+		}
+	}
+}
+
+func TestJacobiNonSquareProcGrid(t *testing.T) {
+	// 8 nodes -> 4x2 processor grid; blocks are non-square.
+	want := JacobiReference(16, 6)
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		r := Jacobi(newRT(8, mode), 16, 6)
+		if math.Abs(r.Checksum-want) > 1e-9 {
+			t.Fatalf("%v: 4x2 checksum %.9f, want %.9f", mode, r.Checksum, want)
+		}
+	}
+}
+
+func TestJacobiIndivisibleGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible grid")
+		}
+	}()
+	Jacobi(newRT(4, core.ModeHybrid), 17, 1)
+}
+
+func TestJacobiManyIterationsStaysCorrect(t *testing.T) {
+	// Longer runs exercise the parity double-buffering repeatedly.
+	want := JacobiReference(8, 21) // odd iteration count: final parity flip
+	r := Jacobi(newRT(4, core.ModeHybrid), 8, 21)
+	if math.Abs(r.Checksum-want) > 1e-9 {
+		t.Fatalf("21-iter checksum %.9f, want %.9f", r.Checksum, want)
+	}
+}
+
+func TestAQDeterministicAcrossModes(t *testing.T) {
+	a := AQParallel(newRT(4, core.ModeSharedMemory), 0.03)
+	b := AQParallel(newRT(4, core.ModeHybrid), 0.03)
+	if a.Integral != b.Integral {
+		t.Fatalf("aq integral differs across modes: %v vs %v", a.Integral, b.Integral)
+	}
+}
+
+func TestAQDepthBounded(t *testing.T) {
+	// An absurd tolerance must terminate via the depth bound.
+	r := AQSequential(machine.New(machine.DefaultConfig(1)), 0)
+	if r.Cells == 0 {
+		t.Fatal("no cells at tol=0")
+	}
+	maxCells := 1
+	for i := 0; i < maxAQDepth; i++ {
+		maxCells *= 4
+	}
+	if r.Cells > maxCells {
+		t.Fatalf("depth bound breached: %d cells", r.Cells)
+	}
+}
+
+func TestAccumTinyAndLineUnaligned(t *testing.T) {
+	for _, words := range []uint64{1, 2, 3, 7} {
+		sm := AccumSM(machine.New(machine.DefaultConfig(2)), 1, words)
+		if sm.Sum != AccumExpected(words) {
+			t.Fatalf("SM words=%d sum=%d", words, sm.Sum)
+		}
+		mp := AccumMP(newRT(2, core.ModeHybrid), 1, words)
+		if mp.Sum != AccumExpected(words) {
+			t.Fatalf("MP words=%d sum=%d", words, mp.Sum)
+		}
+	}
+}
+
+func TestMemcpyKindStrings(t *testing.T) {
+	if CopyNoPrefetch.String() != "no-prefetching" ||
+		CopyPrefetch.String() != "prefetching" ||
+		CopyMessage.String() != "message-passing" {
+		t.Fatal("kind names wrong")
+	}
+	if CopyKind(9).String() != "?" {
+		t.Fatal("unknown kind not handled")
+	}
+}
+
+func TestMemcpyMBps(t *testing.T) {
+	r := MemcpyResult{Bytes: 3300, Cycles: 100}
+	if got := r.MBps(33); got != 1089 {
+		t.Fatalf("MBps = %v", got)
+	}
+}
+
+func TestJacobiResultString(t *testing.T) {
+	r := JacobiResult{Grid: 32, CyclesPerIter: 100}
+	if r.String() != "jacobi 32x32: 100 cycles/iter" {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestTransposeSingleNodeDegenerate(t *testing.T) {
+	r := Transpose(newRT(1, core.ModeHybrid), 8)
+	if r.Cycles == 0 {
+		t.Fatal("1-node transpose measured nothing")
+	}
+}

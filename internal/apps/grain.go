@@ -1,0 +1,65 @@
+// Package apps implements the workloads of the paper's evaluation:
+// grain (Section 4.5, Figure 9), aq (Section 4.5, Figure 10), jacobi
+// (Section 4.6, Figure 11), accum (Section 4.4, Figure 8), and the
+// memory-to-memory copy microbenchmark (Section 4.4, Figure 7).
+package apps
+
+import (
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+// GrainNodeCycles is the per-tree-node bookkeeping cost of the sequential
+// elaboration (calibrated so grain's sequential running times match the
+// paper: 7.1 ms at l=0 and 131.2 ms at l=1000 for depth 12 at 33 MHz).
+const GrainNodeCycles = 28
+
+// GrainResult carries one grain run's outcome.
+type GrainResult struct {
+	Sum    uint64
+	Cycles uint64
+}
+
+// GrainSequential runs grain compiled for a single node: plain recursion,
+// no scheduler or runtime overhead (the paper's speedup baseline).
+func GrainSequential(m *machine.Machine, depth int, delay uint64) GrainResult {
+	var out GrainResult
+	m.Spawn(0, 0, "grain-seq", func(p *machine.Proc) {
+		p.Flush()
+		start := p.Ctx.Now()
+		var rec func(d int) uint64
+		rec = func(d int) uint64 {
+			p.Elapse(GrainNodeCycles)
+			if d == 0 {
+				p.Elapse(delay)
+				return 1
+			}
+			return rec(d-1) + rec(d-1)
+		}
+		out.Sum = rec(depth)
+		p.Flush()
+		out.Cycles = p.Ctx.Now() - start
+	})
+	m.Run()
+	return out
+}
+
+// GrainParallel runs grain under the runtime's scheduler: each internal
+// node forks one subtree and evaluates the other inline, leaves execute the
+// delay loop (the paper's divide-and-conquer structure with 2^depth leaf
+// tasks).
+func GrainParallel(rt *core.RT, depth int, delay uint64) GrainResult {
+	var rec func(tc *core.TC, d int) uint64
+	rec = func(tc *core.TC, d int) uint64 {
+		tc.Elapse(GrainNodeCycles)
+		if d == 0 {
+			tc.Elapse(delay)
+			return 1
+		}
+		f := tc.Fork(func(c *core.TC) uint64 { return rec(c, d-1) })
+		r := rec(tc, d-1)
+		return r + f.Touch(tc)
+	}
+	sum, cycles := rt.Run(func(tc *core.TC) uint64 { return rec(tc, depth) })
+	return GrainResult{Sum: sum, Cycles: cycles}
+}

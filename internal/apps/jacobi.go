@@ -1,0 +1,338 @@
+package apps
+
+import (
+	"fmt"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+	"alewife/internal/mesh"
+)
+
+// jacobi: block-partitioned Jacobi relaxation (Section 4.6, Figure 11).
+// The g x g grid is distributed as 2-D blocks, one per processor, in that
+// processor's local memory. Processors only communicate to exchange border
+// values with their four neighbours — there is no global barrier; each
+// processor synchronizes with its neighbours alone:
+//
+//   - shared-memory version: each processor signals each neighbour by
+//     writing an epoch flag into the neighbour's memory, spins on its own
+//     four flags, then *reads* the neighbours' border cells in place with
+//     conventional loads (no prefetching, per the paper). Row borders are
+//     contiguous (two elements per cache line); column borders are strided
+//     across the neighbour's block, one miss per element — the natural
+//     cost of a 2-D decomposition over shared memory;
+//   - message-passing version: each processor gathers its borders into
+//     contiguous buffers and *pushes* them into its neighbours' halos with
+//     the bulk copy mechanism of Section 4.4; the arrival of the message
+//     is itself the synchronization (data bundled with the signal).
+//
+// Grids are double-buffered by iteration parity, so a neighbour can never
+// overwrite values its slower peer has not yet consumed (the flag protocol
+// keeps any two neighbours within one iteration of each other). The
+// interior computation is identical shared-memory code in both versions.
+
+// JacobiFlopCycles is the arithmetic cost charged per stencil point.
+const JacobiFlopCycles = 4
+
+// Directions index the four neighbours.
+const (
+	dirN = iota
+	dirS
+	dirW
+	dirE
+)
+
+func opposite(d int) int {
+	switch d {
+	case dirN:
+		return dirS
+	case dirS:
+		return dirN
+	case dirW:
+		return dirE
+	}
+	return dirW
+}
+
+// JacobiResult carries one run's outcome.
+type JacobiResult struct {
+	Grid          int
+	Iters         int
+	TotalCycles   uint64
+	CyclesPerIter uint64
+	Checksum      float64
+}
+
+func (r JacobiResult) String() string {
+	return fmt.Sprintf("jacobi %dx%d: %d cycles/iter", r.Grid, r.Grid, r.CyclesPerIter)
+}
+
+// jacobiInit gives the deterministic initial value of global cell (gx,gy).
+func jacobiInit(gx, gy int) float64 {
+	return float64((gx*31+gy*17)%97) / 97.0
+}
+
+// JacobiReference computes the checksum of the same iteration count on the
+// host, for verifying the simulated runs (zero boundary).
+func JacobiReference(g, iters int) float64 {
+	cur := make([][]float64, g+2)
+	next := make([][]float64, g+2)
+	for i := range cur {
+		cur[i] = make([]float64, g+2)
+		next[i] = make([]float64, g+2)
+	}
+	for y := 1; y <= g; y++ {
+		for x := 1; x <= g; x++ {
+			cur[y][x] = jacobiInit(x-1, y-1)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for y := 1; y <= g; y++ {
+			for x := 1; x <= g; x++ {
+				next[y][x] = 0.25 * (cur[y-1][x] + cur[y+1][x] + cur[y][x-1] + cur[y][x+1])
+			}
+		}
+		cur, next = next, cur
+	}
+	var sum float64
+	for y := 1; y <= g; y++ {
+		for x := 1; x <= g; x++ {
+			sum += cur[y][x]
+		}
+	}
+	return sum
+}
+
+// jacobiBlock is one processor's share of the grid and its buffers.
+type jacobiBlock struct {
+	bw, bh int
+	px, py int
+	grid   [2]mem.Addr    // parity-indexed value arrays (bw*bh words each)
+	out    [2][4]mem.Addr // MP: staged borders by parity and direction
+	halo   [2][4]mem.Addr // incoming halos by parity and direction
+	flag   [4]mem.Addr    // SM: epoch flags written by each neighbour
+	nb     [4]int         // neighbour node ids, -1 at the boundary
+
+	// MP arrival state (handler-shared).
+	got     [4]uint64
+	waiting *machine.Proc
+	needEp  uint64
+}
+
+func (b *jacobiBlock) dirLen(d int) int {
+	if d == dirN || d == dirS {
+		return b.bw
+	}
+	return b.bh
+}
+
+// ready reports whether every neighbour's border for epoch e has arrived.
+func (b *jacobiBlock) ready(e uint64) bool {
+	for d := 0; d < 4; d++ {
+		if b.nb[d] >= 0 && b.got[d] < e {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeAddr returns the address of the i-th cell of the block's border in
+// direction d within the parity grid (for direct remote reads).
+func (b *jacobiBlock) edgeAddr(par, d, i int) mem.Addr {
+	g := b.grid[par]
+	switch d {
+	case dirN:
+		return g + mem.Addr(i)
+	case dirS:
+		return g + mem.Addr((b.bh-1)*b.bw+i)
+	case dirW:
+		return g + mem.Addr(i*b.bw)
+	}
+	return g + mem.Addr(i*b.bw+b.bw-1)
+}
+
+// Jacobi runs the solver under rt's mode and returns per-iteration cycle
+// cost plus a checksum for verification.
+func Jacobi(rt *core.RT, g, iters int) JacobiResult {
+	n := rt.Cores()
+	pw, ph := mesh.Dims(n)
+	if g%pw != 0 || g%ph != 0 {
+		panic(fmt.Sprintf("apps: grid %d not divisible by processor grid %dx%d", g, pw, ph))
+	}
+	bw, bh := g/pw, g/ph
+	m := rt.M
+	blocks := make([]*jacobiBlock, n)
+	for id := 0; id < n; id++ {
+		b := &jacobiBlock{bw: bw, bh: bh, px: id % pw, py: id / pw}
+		words := uint64(bw * bh)
+		b.grid[0] = m.Store.AllocOn(id, words)
+		b.grid[1] = m.Store.AllocOn(id, words)
+		for par := 0; par < 2; par++ {
+			for d := 0; d < 4; d++ {
+				b.out[par][d] = m.Store.AllocOn(id, uint64(b.dirLen(d)))
+				b.halo[par][d] = m.Store.AllocOn(id, uint64(b.dirLen(d)))
+			}
+		}
+		for d := 0; d < 4; d++ {
+			b.flag[d] = m.Store.AllocOn(id, mem.LineWords)
+		}
+		b.nb = [4]int{-1, -1, -1, -1}
+		if b.py > 0 {
+			b.nb[dirN] = id - pw
+		}
+		if b.py < ph-1 {
+			b.nb[dirS] = id + pw
+		}
+		if b.px > 0 {
+			b.nb[dirW] = id - 1
+		}
+		if b.px < pw-1 {
+			b.nb[dirE] = id + 1
+		}
+		for r := 0; r < bh; r++ {
+			for c := 0; c < bw; c++ {
+				m.Store.WriteF(b.grid[0]+mem.Addr(r*bw+c), jacobiInit(b.px*bw+c, b.py*bh+r))
+			}
+		}
+		blocks[id] = b
+	}
+	if rt.Mode == core.ModeHybrid {
+		for id := 0; id < n; id++ {
+			id := id
+			for d := 0; d < 4; d++ {
+				d := d
+				rt.RegisterCopyWatcher(jacobiToken(id, d), func() {
+					b := blocks[id]
+					b.got[d]++
+					if b.waiting != nil && b.ready(b.needEp) {
+						w := b.waiting
+						b.waiting = nil
+						w.Ctx.Unblock()
+					}
+				})
+			}
+		}
+	}
+
+	var res JacobiResult
+	res.Grid, res.Iters = g, iters
+	total := rt.SPMD(func(p *machine.Proc) {
+		b := blocks[p.ID()]
+		for it := 0; it < iters; it++ {
+			e := uint64(it + 1)
+			par := it & 1
+			jacobiExchange(rt, p, b, blocks, e, par)
+			jacobiCompute(p, b, par)
+		}
+	})
+	res.TotalCycles = total
+	res.CyclesPerIter = total / uint64(iters)
+	final := iters & 1
+	for _, b := range blocks {
+		for w := 0; w < bw*bh; w++ {
+			res.Checksum += m.Store.ReadF(b.grid[final] + mem.Addr(w))
+		}
+	}
+	return res
+}
+
+// jacobiToken identifies (node, direction) for border-arrival watchers.
+func jacobiToken(node, dir int) uint64 { return uint64(node*4+dir) + 1 }
+
+// jacobiExchange makes every neighbour border value for this iteration
+// available in the local halo buffers, synchronizing in the mode's style.
+func jacobiExchange(rt *core.RT, p *machine.Proc, b *jacobiBlock, blocks []*jacobiBlock, e uint64, par int) {
+	if rt.Mode == core.ModeHybrid {
+		// Gather each border into a contiguous buffer and push it; the
+		// message doubles as the synchronization signal.
+		for d := 0; d < 4; d++ {
+			nb := b.nb[d]
+			if nb < 0 {
+				continue
+			}
+			for i := 0; i < b.dirLen(d); i++ {
+				p.Write(b.out[par][d]+mem.Addr(i), p.Read(b.edgeAddr(par, d, i)))
+				p.Elapse(1)
+			}
+			rt.CopyMPNotify(p, nb, blocks[nb].halo[par][opposite(d)],
+				b.out[par][d], uint64(b.dirLen(d)), jacobiToken(nb, opposite(d)))
+		}
+		p.Flush()
+		if !b.ready(e) {
+			b.needEp = e
+			b.waiting = p
+			p.Ctx.Block()
+		}
+		return
+	}
+	// Shared-memory: signal each neighbour (remote flag write), spin on own
+	// flags, then read the neighbours' border cells in place. Rows are
+	// contiguous; columns cost one remote miss per element.
+	for d := 0; d < 4; d++ {
+		if nb := b.nb[d]; nb >= 0 {
+			p.Write(blocks[nb].flag[opposite(d)], e)
+		}
+	}
+	for d := 0; d < 4; d++ {
+		if b.nb[d] < 0 {
+			continue
+		}
+		for p.Read(b.flag[d]) < e {
+			p.Elapse(10)
+			p.Flush()
+		}
+	}
+	for d := 0; d < 4; d++ {
+		nb := b.nb[d]
+		if nb < 0 {
+			continue
+		}
+		nbb := blocks[nb]
+		od := opposite(d)
+		for i := 0; i < b.dirLen(d); i++ {
+			p.Write(b.halo[par][d]+mem.Addr(i), p.Read(nbb.edgeAddr(par, od, i)))
+			p.Elapse(1)
+		}
+	}
+}
+
+// jacobiCompute applies the five-point stencil to the whole block, reading
+// this parity's halos at the block edge (zero at the global boundary), and
+// writes the other parity's grid.
+func jacobiCompute(p *machine.Proc, b *jacobiBlock, par int) {
+	cur := b.grid[par]
+	next := b.grid[1-par]
+	rd := func(r, c int) float64 {
+		switch {
+		case r < 0:
+			if b.nb[dirN] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirN] + mem.Addr(c))
+		case r >= b.bh:
+			if b.nb[dirS] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirS] + mem.Addr(c))
+		case c < 0:
+			if b.nb[dirW] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirW] + mem.Addr(r))
+		case c >= b.bw:
+			if b.nb[dirE] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirE] + mem.Addr(r))
+		}
+		return p.ReadF(cur + mem.Addr(r*b.bw+c))
+	}
+	for r := 0; r < b.bh; r++ {
+		for c := 0; c < b.bw; c++ {
+			v := 0.25 * (rd(r-1, c) + rd(r+1, c) + rd(r, c-1) + rd(r, c+1))
+			p.WriteF(next+mem.Addr(r*b.bw+c), v)
+			p.Elapse(JacobiFlopCycles)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package apps
+
+import (
+	"math"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+	"alewife/internal/mesh"
+)
+
+// JacobiConverge is the extension variant of jacobi that iterates until
+// the grid converges, using the reducing combining-tree barrier
+// (Barrier.SyncReduce) for the global convergence test: each iteration
+// every processor contributes the number of its cells that moved more than
+// tol, and everyone receives the global count bundled with the barrier
+// wake-up — in the hybrid runtime that is one message wave up and one
+// down, with the data riding the synchronization.
+//
+// Unlike the Figure 11 kernel (which has no global operation and uses
+// neighbour-local synchronization), convergence testing inherently needs a
+// reduction; this is the workload shape that motivates combining trees.
+
+// JacobiConvergeResult carries the run outcome.
+type JacobiConvergeResult struct {
+	Grid     int
+	Iters    int
+	Cycles   uint64
+	Checksum float64
+}
+
+// JacobiConvergeReference computes the expected iteration count and
+// checksum on the host.
+func JacobiConvergeReference(g int, tol float64, maxIters int) (iters int, checksum float64) {
+	cur := make([][]float64, g+2)
+	next := make([][]float64, g+2)
+	for i := range cur {
+		cur[i] = make([]float64, g+2)
+		next[i] = make([]float64, g+2)
+	}
+	for y := 1; y <= g; y++ {
+		for x := 1; x <= g; x++ {
+			cur[y][x] = jacobiInit(x-1, y-1)
+		}
+	}
+	for iters = 0; iters < maxIters; iters++ {
+		moved := 0
+		for y := 1; y <= g; y++ {
+			for x := 1; x <= g; x++ {
+				v := 0.25 * (cur[y-1][x] + cur[y+1][x] + cur[y][x-1] + cur[y][x+1])
+				if math.Abs(v-cur[y][x]) > tol {
+					moved++
+				}
+				next[y][x] = v
+			}
+		}
+		cur, next = next, cur
+		if moved == 0 {
+			iters++
+			break
+		}
+	}
+	var sum float64
+	for y := 1; y <= g; y++ {
+		for x := 1; x <= g; x++ {
+			sum += cur[y][x]
+		}
+	}
+	return iters, sum
+}
+
+// JacobiConverge runs until no cell moves more than tol (or maxIters).
+func JacobiConverge(rt *core.RT, g int, tol float64, maxIters int) JacobiConvergeResult {
+	n := rt.Cores()
+	pw, ph := mesh.Dims(n)
+	if g%pw != 0 || g%ph != 0 {
+		panic("apps: grid not divisible by processor grid")
+	}
+	bw, bh := g/pw, g/ph
+	m := rt.M
+	blocks := make([]*jacobiBlock, n)
+	for id := 0; id < n; id++ {
+		b := &jacobiBlock{bw: bw, bh: bh, px: id % pw, py: id / pw}
+		words := uint64(bw * bh)
+		b.grid[0] = m.Store.AllocOn(id, words)
+		b.grid[1] = m.Store.AllocOn(id, words)
+		for par := 0; par < 2; par++ {
+			for d := 0; d < 4; d++ {
+				b.out[par][d] = m.Store.AllocOn(id, uint64(b.dirLen(d)))
+				b.halo[par][d] = m.Store.AllocOn(id, uint64(b.dirLen(d)))
+			}
+		}
+		b.nb = [4]int{-1, -1, -1, -1}
+		if b.py > 0 {
+			b.nb[dirN] = id - pw
+		}
+		if b.py < ph-1 {
+			b.nb[dirS] = id + pw
+		}
+		if b.px > 0 {
+			b.nb[dirW] = id - 1
+		}
+		if b.px < pw-1 {
+			b.nb[dirE] = id + 1
+		}
+		for r := 0; r < bh; r++ {
+			for c := 0; c < bw; c++ {
+				m.Store.WriteF(b.grid[0]+mem.Addr(r*bw+c), jacobiInit(b.px*bw+c, b.py*bh+r))
+			}
+		}
+		blocks[id] = b
+	}
+
+	iters := make([]int, n)
+	var res JacobiConvergeResult
+	res.Grid = g
+	res.Cycles = rt.SPMD(func(p *machine.Proc) {
+		b := blocks[p.ID()]
+		for it := 0; it < maxIters; it++ {
+			par := it & 1
+			// Stage borders, then a plain barrier stands in for the
+			// neighbour flags (everyone staged).
+			convStage(rt, p, b, par)
+			rt.Barrier().Sync(p)
+			convExchange(p, b, blocks, par)
+			moved := convCompute(p, b, par, tol)
+			iters[p.ID()] = it + 1
+			// The reducing barrier both ends the iteration and answers
+			// "did anyone move?" in the same tree walk.
+			if rt.Barrier().SyncReduce(p, moved) == 0 {
+				return
+			}
+		}
+	})
+	final := iters[0] & 1
+	for _, b := range blocks {
+		for w := 0; w < bw*bh; w++ {
+			res.Checksum += m.Store.ReadF(b.grid[final] + mem.Addr(w))
+		}
+	}
+	res.Iters = iters[0]
+	return res
+}
+
+// convStage gathers borders into the contiguous buffers.
+func convStage(rt *core.RT, p *machine.Proc, b *jacobiBlock, par int) {
+	for d := 0; d < 4; d++ {
+		if b.nb[d] < 0 {
+			continue
+		}
+		for i := 0; i < b.dirLen(d); i++ {
+			p.Write(b.out[par][d]+mem.Addr(i), p.Read(b.edgeAddr(par, d, i)))
+			p.Elapse(1)
+		}
+	}
+}
+
+// convExchange pulls the neighbours' staged borders (post-barrier, both
+// runtime modes use plain reads here; the interesting mechanism in this
+// variant is the reduction).
+func convExchange(p *machine.Proc, b *jacobiBlock, blocks []*jacobiBlock, par int) {
+	for d := 0; d < 4; d++ {
+		nb := b.nb[d]
+		if nb < 0 {
+			continue
+		}
+		core.CopySM(p, b.halo[par][d], blocks[nb].out[par][opposite(d)],
+			uint64(b.dirLen(d)), false)
+	}
+}
+
+// convCompute applies the stencil and counts cells that moved beyond tol.
+func convCompute(p *machine.Proc, b *jacobiBlock, par int, tol float64) uint64 {
+	cur := b.grid[par]
+	next := b.grid[1-par]
+	rd := func(r, c int) float64 {
+		switch {
+		case r < 0:
+			if b.nb[dirN] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirN] + mem.Addr(c))
+		case r >= b.bh:
+			if b.nb[dirS] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirS] + mem.Addr(c))
+		case c < 0:
+			if b.nb[dirW] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirW] + mem.Addr(r))
+		case c >= b.bw:
+			if b.nb[dirE] < 0 {
+				return 0
+			}
+			return p.ReadF(b.halo[par][dirE] + mem.Addr(r))
+		}
+		return p.ReadF(cur + mem.Addr(r*b.bw+c))
+	}
+	var moved uint64
+	for r := 0; r < b.bh; r++ {
+		for c := 0; c < b.bw; c++ {
+			v := 0.25 * (rd(r-1, c) + rd(r+1, c) + rd(r, c-1) + rd(r, c+1))
+			if diff := v - rd(r, c); diff > tol || diff < -tol {
+				moved++
+			}
+			p.WriteF(next+mem.Addr(r*b.bw+c), v)
+			p.Elapse(JacobiFlopCycles + 2)
+		}
+	}
+	return moved
+}

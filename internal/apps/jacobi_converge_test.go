@@ -1,0 +1,65 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"alewife/internal/core"
+)
+
+func TestJacobiConvergeMatchesReference(t *testing.T) {
+	const g = 16
+	const tol = 0.01
+	wantIters, wantSum := JacobiConvergeReference(g, tol, 500)
+	if wantIters == 0 || wantIters == 500 {
+		t.Fatalf("reference did not converge sensibly: %d iters", wantIters)
+	}
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		r := JacobiConverge(newRT(4, mode), g, tol, 500)
+		if r.Iters != wantIters {
+			t.Fatalf("%v: converged in %d iters, reference %d", mode, r.Iters, wantIters)
+		}
+		if math.Abs(r.Checksum-wantSum) > 1e-9 {
+			t.Fatalf("%v: checksum %.9f, want %.9f", mode, r.Checksum, wantSum)
+		}
+	}
+}
+
+func TestJacobiConvergeTightToleranceRunsLonger(t *testing.T) {
+	loose := JacobiConverge(newRT(4, core.ModeHybrid), 16, 0.05, 500)
+	tight := JacobiConverge(newRT(4, core.ModeHybrid), 16, 0.005, 500)
+	if tight.Iters <= loose.Iters {
+		t.Fatalf("tight tol converged in %d iters, loose in %d", tight.Iters, loose.Iters)
+	}
+}
+
+func TestJacobiConvergeHitsMaxIters(t *testing.T) {
+	r := JacobiConverge(newRT(4, core.ModeHybrid), 16, 0, 7) // tol 0 never converges
+	if r.Iters != 7 {
+		t.Fatalf("max-iters cap not honoured: %d", r.Iters)
+	}
+}
+
+func TestJacobiConvergeSingleNode(t *testing.T) {
+	wantIters, wantSum := JacobiConvergeReference(8, 0.02, 500)
+	r := JacobiConverge(newRT(1, core.ModeSharedMemory), 8, 0.02, 500)
+	if r.Iters != wantIters || math.Abs(r.Checksum-wantSum) > 1e-9 {
+		t.Fatalf("1-node converge: %d iters %.9f, want %d %.9f", r.Iters, r.Checksum, wantIters, wantSum)
+	}
+}
+
+func TestJacobiConvergeHybridReductionFaster(t *testing.T) {
+	// The reduction wave is the per-iteration global operation; the hybrid
+	// tree should finish the whole solve faster at small grids where the
+	// reduction dominates the stencil.
+	sm := JacobiConverge(newRT(16, core.ModeSharedMemory), 16, 0.01, 500)
+	hy := JacobiConverge(newRT(16, core.ModeHybrid), 16, 0.01, 500)
+	if sm.Iters != hy.Iters {
+		t.Fatalf("iteration counts differ: %d vs %d", sm.Iters, hy.Iters)
+	}
+	t.Logf("converge 16x16 on 16 nodes: SM=%d cycles, hybrid=%d cycles (%d iters)",
+		sm.Cycles, hy.Cycles, sm.Iters)
+	if hy.Cycles >= sm.Cycles {
+		t.Fatalf("hybrid reduction (%d) not faster than SM (%d)", hy.Cycles, sm.Cycles)
+	}
+}

@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+)
+
+// Memory-to-memory copy microbenchmark (Section 4.4, Figure 7): move a
+// block from node 0's memory into a remote node's memory three ways.
+
+// CopyKind selects the implementation.
+type CopyKind int
+
+// Copy implementations, in the paper's legend order.
+const (
+	CopyNoPrefetch CopyKind = iota
+	CopyPrefetch
+	CopyMessage
+)
+
+func (k CopyKind) String() string {
+	switch k {
+	case CopyNoPrefetch:
+		return "no-prefetching"
+	case CopyPrefetch:
+		return "prefetching"
+	case CopyMessage:
+		return "message-passing"
+	}
+	return "?"
+}
+
+// MemcpyResult carries one measurement.
+type MemcpyResult struct {
+	Kind   CopyKind
+	Bytes  int
+	Cycles uint64
+}
+
+// MBps converts the measurement to MB/s at the given clock.
+func (r MemcpyResult) MBps(clockMHz float64) float64 {
+	return float64(r.Bytes) * clockMHz / float64(r.Cycles)
+}
+
+// Memcpy copies `bytes` from node 0 to dstNode with the chosen
+// implementation and reports the cycles until the data is resident in the
+// destination memory (one-way completion, as Figure 7 plots).
+func Memcpy(rt *core.RT, dstNode int, bytes int, kind CopyKind) MemcpyResult {
+	words := uint64(bytes / mem.WordBytes)
+	m := rt.M
+	src := m.Store.AllocOn(0, words)
+	dst := m.Store.AllocOn(dstNode, words)
+	for i := uint64(0); i < words; i++ {
+		m.Store.Write(src+mem.Addr(i), i)
+	}
+	var cycles uint64
+	m.Spawn(0, 0, "memcpy", func(p *machine.Proc) {
+		// Warm the source into the cache (steady-state copy: the buffer
+		// being exported was just produced locally); the destination stays
+		// remote and cold, which is what the experiment measures.
+		for i := uint64(0); i < words; i += mem.LineWords {
+			_ = p.Read(src + mem.Addr(i))
+		}
+		p.Flush()
+		start := p.Ctx.Now()
+		switch kind {
+		case CopyNoPrefetch:
+			core.CopySM(p, dst, src, words, false)
+			cycles = p.Ctx.Now() - start
+		case CopyPrefetch:
+			core.CopySM(p, dst, src, words, true)
+			cycles = p.Ctx.Now() - start
+		case CopyMessage:
+			g := rt.CopyMPAsync(p, dstNode, dst, src, words)
+			g.Wait(p.Ctx) // fires when the destination stored the data
+			cycles = p.Ctx.Now() - start
+		}
+	})
+	m.Run()
+	for i := uint64(0); i < words; i++ {
+		if m.Store.Read(dst+mem.Addr(i)) != i {
+			panic("apps: memcpy corrupted data")
+		}
+	}
+	return MemcpyResult{Kind: kind, Bytes: bytes, Cycles: cycles}
+}

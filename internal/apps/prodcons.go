@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"alewife/internal/cmmu"
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+	"alewife/internal/sim"
+)
+
+// Producer-consumer handoff (Section 2.2, third "defect of shared-memory":
+// combining synchronization with data transfer). A producer makes a record
+// of `words` doublewords available to a consumer on another node:
+//
+//   - shared-memory: the producer writes the record, then sets a flag the
+//     consumer spins on; the consumer's reads of the record then miss all
+//     the way back to the producer's cache (synchronization and data move
+//     in separate coherence transactions, and the consumer cannot usefully
+//     prefetch before it learns the data exists);
+//   - message-passing: the producer sends one message carrying the record;
+//     its arrival is the synchronization and the data is already local.
+//
+// The measured interval is producer-start to consumer-has-consumed.
+
+// ProdConsResult carries one handoff measurement.
+type ProdConsResult struct {
+	Words  uint64
+	Cycles uint64 // handoff latency, producer start -> consumer done
+	Sum    uint64 // consumed checksum
+}
+
+// ProdConsSM hands off through shared memory with a flag.
+func ProdConsSM(m *machine.Machine, words uint64) ProdConsResult {
+	prodNode, consNode := 0, 1
+	rec := m.Store.AllocOn(prodNode, words)
+	flag := m.Store.AllocOn(prodNode, mem.LineWords)
+	var out ProdConsResult
+	out.Words = words
+	var start sim.Time
+	m.Spawn(prodNode, 0, "producer", func(p *machine.Proc) {
+		p.Flush()
+		start = p.Ctx.Now()
+		for i := uint64(0); i < words; i++ {
+			p.Write(rec+mem.Addr(i), i+1)
+			p.Elapse(1)
+		}
+		p.Write(flag, 1)
+	})
+	m.Spawn(consNode, 0, "consumer", func(p *machine.Proc) {
+		for p.Read(flag) == 0 {
+			p.Elapse(10)
+			p.Flush()
+		}
+		var sum uint64
+		for i := uint64(0); i < words; i++ {
+			sum += p.Read(rec + mem.Addr(i))
+			p.Elapse(1)
+		}
+		p.Flush()
+		out.Sum = sum
+		out.Cycles = p.Ctx.Now() - start
+	})
+	m.Run()
+	return out
+}
+
+// ProdConsMP hands off with a single message bundling data and signal.
+func ProdConsMP(rt *core.RT, words uint64) ProdConsResult {
+	m := rt.M
+	prodNode, consNode := 0, 1
+	rec := m.Store.AllocOn(prodNode, words)
+	buf := m.Store.AllocOn(consNode, words)
+	var out ProdConsResult
+	out.Words = words
+	var start sim.Time
+	const mtRecord = 90
+	var consumer *machine.Proc
+	arrived := false
+	m.Nodes[consNode].CMMU.Register(mtRecord, func(e *cmmu.Env) {
+		e.Storeback(buf, e.Data)
+		arrived = true
+		if consumer != nil {
+			consumer.Ctx.Unblock()
+		}
+	})
+	m.Spawn(prodNode, 0, "producer", func(p *machine.Proc) {
+		p.Flush()
+		start = p.Ctx.Now()
+		for i := uint64(0); i < words; i++ {
+			p.Write(rec+mem.Addr(i), i+1)
+			p.Elapse(1)
+		}
+		p.SendMessage(cmmu.Descriptor{
+			Type:    mtRecord,
+			Dst:     consNode,
+			Regions: []cmmu.Region{{Base: rec, Words: words}},
+		})
+	})
+	m.Spawn(consNode, 0, "consumer", func(p *machine.Proc) {
+		p.Flush()
+		if !arrived {
+			consumer = p
+			p.Ctx.Block()
+			consumer = nil
+		}
+		var sum uint64
+		for i := uint64(0); i < words; i++ {
+			sum += p.Read(buf + mem.Addr(i))
+			p.Elapse(1)
+		}
+		p.Flush()
+		out.Sum = sum
+		out.Cycles = p.Ctx.Now() - start
+	})
+	m.Run()
+	return out
+}

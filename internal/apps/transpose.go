@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"fmt"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+	"alewife/internal/sim"
+)
+
+// All-to-all block transpose (Section 2.2, second "defect": known
+// communication patterns). Every node holds one block of `words`
+// doublewords destined for every other node — a fully known personalized
+// all-to-all, the paradigmatic case where coherent caching buys nothing:
+//
+//   - shared-memory: each node pulls its blocks from every peer with the
+//     plain copy loop (every line a remote miss through the home);
+//   - message-passing: each node pushes its blocks with one bulk message
+//     per peer, point-to-point, no directory in the way.
+//
+// The paper's condition (i) for messages to win is that blocks are large
+// enough to amortize the fixed messaging overhead; sweeping `words`
+// exposes exactly that crossover.
+
+// TransposeResult carries one measurement.
+type TransposeResult struct {
+	Nodes      int
+	BlockWords uint64
+	Cycles     uint64
+}
+
+// transposeBufs allocates the source and destination block matrices:
+// src[i][j] on node i holds the block i sends to j; dst[i][j] on node i
+// receives the block from j.
+func transposeBufs(m *machine.Machine, n int, words uint64) (src, dst [][]mem.Addr) {
+	src = make([][]mem.Addr, n)
+	dst = make([][]mem.Addr, n)
+	for i := 0; i < n; i++ {
+		src[i] = make([]mem.Addr, n)
+		dst[i] = make([]mem.Addr, n)
+		for j := 0; j < n; j++ {
+			src[i][j] = m.Store.AllocOn(i, words)
+			dst[i][j] = m.Store.AllocOn(i, words)
+			for w := uint64(0); w < words; w++ {
+				m.Store.Write(src[i][j]+mem.Addr(w), uint64(i)<<40|uint64(j)<<20|w)
+			}
+		}
+	}
+	return src, dst
+}
+
+// transposeVerify panics on any misplaced word (the benchmark is always
+// self-checking).
+func transposeVerify(m *machine.Machine, n int, words uint64, dst [][]mem.Addr) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for w := uint64(0); w < words; w++ {
+				want := uint64(j)<<40 | uint64(i)<<20 | w
+				if got := m.Store.Read(dst[i][j] + mem.Addr(w)); got != want {
+					panic(fmt.Sprintf("transpose: dst[%d][%d][%d] = %#x, want %#x", i, j, w, got, want))
+				}
+			}
+		}
+	}
+}
+
+// Transpose runs the all-to-all under rt's mode and returns total cycles.
+func Transpose(rt *core.RT, words uint64) TransposeResult {
+	n := rt.Cores()
+	m := rt.M
+	src, dst := transposeBufs(m, n, words)
+	var end sim.Time
+
+	if rt.Mode == core.ModeHybrid {
+		// Push phase: one bulk message per peer; arrival counters tell
+		// each node when its row is complete.
+		got := make([]int, n)
+		waiting := make([]*machine.Proc, n)
+		for i := 0; i < n; i++ {
+			i := i
+			rt.RegisterCopyWatcher(transposeToken(i), func() {
+				got[i]++
+				if got[i] == n-1 && waiting[i] != nil {
+					w := waiting[i]
+					waiting[i] = nil
+					w.Ctx.Unblock()
+				}
+			})
+		}
+		total := rt.SPMD(func(p *machine.Proc) {
+			me := p.ID()
+			core.CopySM(p, dst[me][me], src[me][me], words, false) // own block
+			for off := 1; off < n; off++ {
+				j := (me + off) % n
+				rt.CopyMPNotify(p, j, dst[j][me], src[me][j], words, transposeToken(j))
+			}
+			p.Flush()
+			if got[me] < n-1 {
+				waiting[me] = p
+				p.Ctx.Block()
+			}
+		})
+		end = total
+	} else {
+		// Pull phase: fetch each peer's block with the copy loop. A flag
+		// round is unnecessary: blocks are written before the run starts.
+		total := rt.SPMD(func(p *machine.Proc) {
+			me := p.ID()
+			core.CopySM(p, dst[me][me], src[me][me], words, false) // own block
+			for off := 1; off < n; off++ {
+				j := (me + off) % n
+				core.CopySM(p, dst[me][j], src[j][me], words, false)
+			}
+		})
+		end = total
+	}
+	transposeVerify(m, n, words, dst)
+	return TransposeResult{Nodes: n, BlockWords: words, Cycles: end}
+}
+
+// transposeToken names node i's arrival watcher.
+func transposeToken(i int) uint64 { return 0x7472 + uint64(i) } // disjoint from jacobi's

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "barrier",
+		Title: "Combining-tree barrier, SM vs MP (Section 4.2)",
+		Run:   runBarrier,
+	})
+	register(Experiment{
+		ID:    "barrier-arity",
+		Title: "Barrier tree-arity ablation (extension)",
+		Run:   runBarrierArity,
+	})
+	register(Experiment{
+		ID:    "barrier-scale",
+		Title: "Barrier scaling with machine size (extension)",
+		Run:   runBarrierScale,
+	})
+}
+
+// barrierCycles measures steady-state cycles per barrier episode.
+func barrierCycles(nodes int, mode core.Mode, msgArity, smArity int) uint64 {
+	const warm, meas = 2, 6
+	rt := newRT(nodes, mode)
+	rt.Barrier().SetArity(msgArity, smArity)
+	var start, end uint64
+	total := rt.SPMD(func(p *machine.Proc) {
+		for i := 0; i < warm; i++ {
+			rt.Barrier().Sync(p)
+		}
+		p.Flush()
+		if p.ID() == 0 {
+			start = p.Ctx.Now()
+		}
+		for i := 0; i < meas; i++ {
+			rt.Barrier().Sync(p)
+		}
+		p.Flush()
+		if p.ID() == 0 && p.Ctx.Now() > end {
+			end = p.Ctx.Now()
+		}
+	})
+	_ = total
+	return (end - start) / meas
+}
+
+func runBarrier(cfg Config, w io.Writer) {
+	sm := barrierCycles(cfg.Nodes, core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity)
+	mp := barrierCycles(cfg.Nodes, core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity)
+	t := NewTable("barrier", "implementation", "cycles", "usec", "paper_cycles")
+	t.Add("shared-memory (binary tree)", sm, micros(sm), 1650)
+	t.Add("message (8-ary tree)", mp, micros(mp), 660)
+	t.Note("ratio SM/MP: %.2f (paper: 2.50); %d processors", float64(sm)/float64(mp), cfg.Nodes)
+	t.Emit(cfg, w)
+}
+
+func runBarrierArity(cfg Config, w io.Writer) {
+	arities := []int{2, 4, 8, 16}
+	fmt.Fprintf(w, "%-8s %16s %16s\n", "arity", "SM cycles", "MP cycles")
+	for _, a := range arities {
+		if a >= cfg.Nodes {
+			continue
+		}
+		sm := barrierCycles(cfg.Nodes, core.ModeSharedMemory, a, a)
+		mp := barrierCycles(cfg.Nodes, core.ModeHybrid, a, a)
+		fmt.Fprintf(w, "%-8d %16d %16d\n", a, sm, mp)
+	}
+}
+
+func runBarrierScale(cfg Config, w io.Writer) {
+	sizes := []int{4, 16, 64}
+	if !cfg.Quick {
+		sizes = append(sizes, 256)
+	}
+	fmt.Fprintf(w, "%-8s %16s %16s %8s\n", "procs", "SM cycles", "MP cycles", "ratio")
+	for _, n := range sizes {
+		sm := barrierCycles(n, core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity)
+		mp := barrierCycles(n, core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity)
+		fmt.Fprintf(w, "%-8d %16d %16d %8.2f\n", n, sm, mp, float64(sm)/float64(mp))
+	}
+}

@@ -1,0 +1,74 @@
+// Package bench regenerates every table and figure in the paper's
+// evaluation (Section 4). Each experiment prints the same rows or series
+// the paper reports, next to the paper's published values, so shape and
+// crossover comparisons are immediate. EXPERIMENTS.md records a full run.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Nodes  int    // processors (the paper uses 64)
+	Quick  bool   // trimmed sweeps for test runs
+	CSVDir string // when set, experiments also write <id>.csv files here
+}
+
+// DefaultConfig matches the paper's machine size.
+func DefaultConfig() Config { return Config{Nodes: 64} }
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config, w io.Writer)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments lists all registered experiments in ID order.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment.
+func RunAll(cfg Config, w io.Writer) {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "==> %s: %s\n", e.ID, e.Title)
+		e.Run(cfg, w)
+		fmt.Fprintln(w)
+	}
+}
+
+// newMachine builds the standard Alewife-like machine.
+func newMachine(nodes int) *machine.Machine {
+	return machine.New(machine.DefaultConfig(nodes))
+}
+
+// newRT builds a runtime in the given mode on a fresh machine.
+func newRT(nodes int, mode core.Mode) *core.RT {
+	return core.NewDefault(newMachine(nodes), mode)
+}
+
+// micros converts cycles to microseconds at the Alewife clock.
+func micros(cycles uint64) float64 { return float64(cycles) / 33.0 }

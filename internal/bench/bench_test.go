@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table/figure of the paper must have an experiment, plus the
+	// documented extensions.
+	want := []string{
+		"barrier", "invoke", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"barrier-arity", "barrier-scale",
+		"ablate-limitless", "ablate-steal", "ablate-network", "ablate-prefetch",
+	}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Experiments()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(Experiments()), len(want))
+	}
+}
+
+func TestFindUnknown(t *testing.T) {
+	if _, ok := Find("nonsense"); ok {
+		t.Fatal("Find returned an unknown experiment")
+	}
+}
+
+func TestExperimentsSorted(t *testing.T) {
+	es := Experiments()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID >= es[i].ID {
+			t.Fatalf("experiments not sorted: %s >= %s", es[i-1].ID, es[i].ID)
+		}
+	}
+}
+
+// runQuick executes one experiment on a small machine and returns output.
+func runQuick(t *testing.T, id string, nodes int) string {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not found", id)
+	}
+	var sb strings.Builder
+	e.Run(Config{Nodes: nodes, Quick: true}, &sb)
+	return sb.String()
+}
+
+func TestBarrierExperimentOutput(t *testing.T) {
+	out := runQuick(t, "barrier", 16)
+	if !strings.Contains(out, "shared-memory") || !strings.Contains(out, "message") {
+		t.Fatalf("barrier output missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "paper") {
+		t.Fatalf("barrier output missing paper reference:\n%s", out)
+	}
+}
+
+func TestInvokeExperimentOutput(t *testing.T) {
+	out := runQuick(t, "invoke", 8)
+	for _, needle := range []string{"Tinvoker", "Tinvokee", "353", "805"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("invoke output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFig7ExperimentOutput(t *testing.T) {
+	out := runQuick(t, "fig7", 8)
+	for _, needle := range []string{"256", "4096", "nopf_MBps", "msg_MBps"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("fig7 output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFig8ExperimentOutput(t *testing.T) {
+	out := runQuick(t, "fig8", 8)
+	if !strings.Contains(out, "mp_over_sm") {
+		t.Fatalf("fig8 output malformed:\n%s", out)
+	}
+}
+
+func TestFig9QuickRuns(t *testing.T) {
+	out := runQuick(t, "fig9", 16)
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("fig9 output malformed:\n%s", out)
+	}
+}
+
+func TestFig10QuickRuns(t *testing.T) {
+	out := runQuick(t, "fig10", 16)
+	if !strings.Contains(out, "hyb_over_sm") {
+		t.Fatalf("fig10 output malformed:\n%s", out)
+	}
+}
+
+func TestFig11QuickRuns(t *testing.T) {
+	out := runQuick(t, "fig11", 16)
+	if !strings.Contains(out, "cycles_per_iter") {
+		t.Fatalf("fig11 output malformed:\n%s", out)
+	}
+}
+
+func TestAblationsQuickRun(t *testing.T) {
+	for _, id := range []string{"ablate-limitless", "ablate-steal", "ablate-prefetch"} {
+		out := runQuick(t, id, 8)
+		if len(out) < 40 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}

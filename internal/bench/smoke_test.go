@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests: every registered experiment must run to completion on a
+// small machine and produce plausible output. Individual shape assertions
+// live next to the apps; this guards the drivers themselves.
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke sweep is not short")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			e.Run(Config{Nodes: 8, Quick: true}, &sb)
+			if len(sb.String()) < 30 {
+				t.Fatalf("experiment %s produced almost no output:\n%s", e.ID, sb.String())
+			}
+		})
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is not short")
+	}
+	var sb strings.Builder
+	RunAll(Config{Nodes: 4, Quick: true}, &sb)
+	out := sb.String()
+	for _, e := range Experiments() {
+		if !strings.Contains(out, "==> "+e.ID+":") {
+			t.Fatalf("RunAll missing experiment %s", e.ID)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	if DefaultConfig().Nodes != 64 {
+		t.Fatal("default config is not the paper's 64 processors")
+	}
+}

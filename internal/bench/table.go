@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is the structured result of an experiment: named columns, rows of
+// cells, free-form notes. Experiments fill tables so the harness can both
+// pretty-print them (the paper-shaped text output) and, when Config.CSVDir
+// is set, drop machine-readable CSV files for plotting.
+type Table struct {
+	Name  string // file stem for CSV output
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// NewTable starts a table with the given name and column headers.
+func NewTable(name string, cols ...string) *Table {
+	return &Table{Name: name, Cols: cols}
+}
+
+// Add appends a row; cells are formatted with %v ("%.2f" for floats).
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	if len(row) != len(t.Cols) {
+		panic(fmt.Sprintf("bench: row has %d cells, table %q has %d columns", len(row), t.Name, len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form line printed after the table (not in the CSV).
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the aligned text form.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Cols)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, n)
+	}
+}
+
+// csvEscape quotes a cell when needed.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// CSV renders the comma-separated form (header + rows, no notes).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvEscape(c))
+		}
+		sb.WriteByte('\n')
+	}
+	esc(t.Cols)
+	for _, r := range t.Rows {
+		esc(r)
+	}
+	return sb.String()
+}
+
+// Emit prints the table and, when cfg.CSVDir is set, writes
+// <CSVDir>/<name>.csv.
+func (t *Table) Emit(cfg Config, w io.Writer) {
+	t.Fprint(w)
+	if cfg.CSVDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+		fmt.Fprintf(w, "(csv: %v)\n", err)
+		return
+	}
+	path := filepath.Join(cfg.CSVDir, t.Name+".csv")
+	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+		fmt.Fprintf(w, "(csv: %v)\n", err)
+	}
+}

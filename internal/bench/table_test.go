@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatAligned(t *testing.T) {
+	tb := NewTable("x", "name", "value")
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 23456)
+	tb.Note("a note with %d", 7)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	// Value column starts at the same offset in every row.
+	off := strings.Index(lines[0], "value")
+	if lines[2][off-1] == ' ' && lines[2][off] == ' ' {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	if lines[3] != "a note with 7" {
+		t.Fatalf("note: %q", lines[3])
+	}
+}
+
+func TestTableFloatsFormatted(t *testing.T) {
+	tb := NewTable("x", "v")
+	tb.Add(3.14159)
+	if tb.Rows[0][0] != "3.14" {
+		t.Fatalf("float cell = %q", tb.Rows[0][0])
+	}
+}
+
+func TestTableWrongArityPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.Add(1)
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.Add("plain", 1)
+	tb.Add(`with,comma "and quotes"`, 2)
+	tb.Note("notes are not in CSV")
+	csv := tb.CSV()
+	want := "a,b\nplain,1\n\"with,comma \"\"and quotes\"\"\",2\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestTableEmitWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("myexp", "a")
+	tb.Add(5)
+	var sb strings.Builder
+	tb.Emit(Config{CSVDir: dir}, &sb)
+	data, err := os.ReadFile(filepath.Join(dir, "myexp.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\n5\n" {
+		t.Fatalf("csv file = %q", data)
+	}
+	if !strings.Contains(sb.String(), "5") {
+		t.Fatal("text output missing")
+	}
+}
+
+func TestExperimentsWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := Find("barrier")
+	var sb strings.Builder
+	e.Run(Config{Nodes: 8, Quick: true, CSVDir: dir}, &sb)
+	if _, err := os.Stat(filepath.Join(dir, "barrier.csv")); err != nil {
+		t.Fatalf("barrier.csv not written: %v", err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package cmmu models Alewife's Communications and Memory-Management Unit
+// network interface: user-level messages sent by a describe-then-launch
+// sequence (Figure 5 of the paper: explicit operands followed by
+// address-length pairs gathered by DMA), and received through an interrupt
+// that exposes the packet in a window, with storeback instructions that
+// discard words or scatter them to memory by DMA.
+package cmmu
+
+import (
+	"fmt"
+
+	"alewife/internal/mem"
+	"alewife/internal/mesh"
+	"alewife/internal/sim"
+	"alewife/internal/stats"
+	"alewife/internal/trace"
+)
+
+// Params is the network-interface cost model in processor cycles.
+type Params struct {
+	DescribeCycles  uint64 // per descriptor word written to the CMMU
+	LaunchCycles    uint64 // the atomic launch instruction
+	HeaderBytes     int    // wire overhead per packet
+	InterruptEntry  uint64 // cycles to enter a message handler (paper: 5)
+	WindowReadCycle uint64 // per packet word examined by the handler
+	StorebackSetup  uint64 // per storeback instruction issued
+	DMAWordCycles   uint64 // per word scattered to memory at the receiver
+	MaxOperands     int    // descriptor limit (paper: 16-word descriptor)
+}
+
+// DefaultParams returns the calibrated Alewife-like cost model.
+func DefaultParams() Params {
+	return Params{
+		DescribeCycles:  1,
+		LaunchCycles:    1,
+		HeaderBytes:     8,
+		InterruptEntry:  5,
+		WindowReadCycle: 1,
+		StorebackSetup:  2,
+		DMAWordCycles:   0, // the DMA engine drains concurrently with reception
+
+		MaxOperands: 16,
+	}
+}
+
+// Region names a block of memory for DMA gather/scatter.
+type Region struct {
+	Base  mem.Addr
+	Words uint64
+}
+
+// Descriptor describes an outgoing message: a type, a destination, up to
+// MaxOperands explicit operand words, and any number of address-length
+// pairs whose memory contents are concatenated to the packet.
+type Descriptor struct {
+	Type    int
+	Dst     int
+	Ops     []uint64
+	Regions []Region
+}
+
+// Env is a received message as seen by a handler. Handlers run atomically
+// at interrupt level; cycles they consume are charged to the receiving
+// processor (stolen) and serialize the input port.
+type Env struct {
+	Type int
+	Src  int
+	Ops  []uint64
+	Data []uint64 // gathered region contents, flattened
+
+	cm     *CMMU
+	cycles uint64
+}
+
+// Elapse charges handler compute cycles.
+func (e *Env) Elapse(n uint64) { e.cycles += n }
+
+// ReadOps charges the cost of examining n words in the receive window.
+func (e *Env) ReadOps(n int) { e.cycles += uint64(n) * e.cm.p.WindowReadCycle }
+
+// Storeback scatters words from the packet body to memory at base,
+// charging storeback-issue plus DMA cycles, and invalidating overlapping
+// lines in the local cache (destination-coherent transfer).
+func (e *Env) Storeback(base mem.Addr, words []uint64) {
+	e.cycles += e.cm.p.StorebackSetup + uint64(len(words))*e.cm.p.DMAWordCycles
+	e.cycles += e.cm.ctrl.DMAInvalidate(base, uint64(len(words)))
+	for i, w := range words {
+		e.cm.store.Write(base+mem.Addr(i), w)
+	}
+	if e.cm.st != nil {
+		e.cm.st.Add(e.cm.node, stats.DMAWords, int64(len(words)))
+	}
+}
+
+// Reply sends a message from inside the handler (interrupt level), charging
+// the describe/launch cost to the handler.
+func (e *Env) Reply(d Descriptor) {
+	e.cycles += e.cm.sendCost(d)
+	e.cm.inject(d, e.cm.eng.Now()+e.cycles)
+}
+
+// Now returns the current simulation time.
+func (e *Env) Now() sim.Time { return e.cm.eng.Now() }
+
+// Handler processes one received message.
+type Handler func(*Env)
+
+// ProcSink absorbs cycles stolen from a node's processor by interrupt
+// handlers; the machine layer provides it.
+type ProcSink interface {
+	StealCycles(node int, cycles uint64)
+}
+
+// CMMU is one node's network interface.
+type CMMU struct {
+	node     int
+	eng      *sim.Engine
+	net      mesh.Network
+	store    *mem.Store
+	ctrl     *mem.Ctrl
+	p        Params
+	st       *stats.Machine
+	sink     ProcSink
+	handlers map[int]Handler
+
+	peers []*CMMU
+
+	// Trace, when non-nil, records message events.
+	Trace *trace.Buffer
+
+	masked   bool
+	queued   []*Env
+	rxFreeAt sim.Time
+}
+
+// SetPeers wires this CMMU to every node's interface (including its own) so
+// outbound packets can find their destination. The machine layer calls it
+// once after constructing all interfaces.
+func (c *CMMU) SetPeers(all []*CMMU) { c.peers = all }
+
+// New builds a CMMU for one node. st and sink may be nil.
+func New(node int, eng *sim.Engine, net mesh.Network, store *mem.Store,
+	ctrl *mem.Ctrl, p Params, st *stats.Machine, sink ProcSink) *CMMU {
+	return &CMMU{
+		node: node, eng: eng, net: net, store: store, ctrl: ctrl,
+		p: p, st: st, sink: sink, handlers: make(map[int]Handler),
+	}
+}
+
+// Register installs the handler for a message type. Types are small ints
+// owned by the runtime system.
+func (c *CMMU) Register(msgType int, h Handler) {
+	if _, dup := c.handlers[msgType]; dup {
+		panic(fmt.Sprintf("cmmu: duplicate handler for message type %d", msgType))
+	}
+	c.handlers[msgType] = h
+}
+
+// SendCost returns the processor cycles consumed by describe+launch for d;
+// the machine layer charges them to the sending processor.
+func (c *CMMU) SendCost(d Descriptor) uint64 { return c.sendCost(d) }
+
+func (c *CMMU) sendCost(d Descriptor) uint64 {
+	words := 1 + len(d.Ops) + 2*len(d.Regions) // dest/type word, operands, addr-len pairs
+	return uint64(words)*c.p.DescribeCycles + c.p.LaunchCycles
+}
+
+// Send validates and injects a message, departing at time `at` (typically
+// the sender's current logical time plus SendCost). The packet gathers
+// region contents from memory at injection; source-coherence flush cycles
+// are charged to the injection time, not the processor.
+func (c *CMMU) Send(d Descriptor, at sim.Time) {
+	if len(d.Ops) > c.p.MaxOperands {
+		panic(fmt.Sprintf("cmmu: %d operands exceeds descriptor limit %d", len(d.Ops), c.p.MaxOperands))
+	}
+	if d.Dst < 0 || d.Dst >= c.net.Nodes() {
+		panic(fmt.Sprintf("cmmu: bad destination %d", d.Dst))
+	}
+	c.inject(d, at)
+}
+
+func (c *CMMU) inject(d Descriptor, at sim.Time) {
+	flush := uint64(0)
+	var data []uint64
+	for _, r := range d.Regions {
+		flush += c.ctrl.DMAFlush(r.Base, r.Words)
+		for i := uint64(0); i < r.Words; i++ {
+			data = append(data, c.store.Read(r.Base+mem.Addr(i)))
+		}
+	}
+	bytes := c.p.HeaderBytes + mem.WordBytes*(len(d.Ops)+len(data))
+	if c.st != nil {
+		c.st.Inc(c.node, stats.MsgsSent)
+		c.st.Add(c.node, stats.MsgWords, int64(len(d.Ops)+len(data)))
+	}
+	c.Trace.Emit(at, c.node, trace.KMsgSend, uint64(d.Type))
+	env := &Env{Type: d.Type, Src: c.node, Ops: d.Ops, Data: data}
+	dst := c.peers[d.Dst]
+	c.net.Send(c.node, d.Dst, bytes, at+flush, func() { dst.arrive(env) })
+}
+
+// MaskInterrupts defers message delivery until UnmaskInterrupts; Alewife
+// software uses this around critical sections shared with handlers.
+func (c *CMMU) MaskInterrupts() { c.masked = true }
+
+// UnmaskInterrupts re-enables delivery and drains any queued messages.
+func (c *CMMU) UnmaskInterrupts() {
+	if !c.masked {
+		return
+	}
+	c.masked = false
+	q := c.queued
+	c.queued = nil
+	for _, env := range q {
+		c.arrive(env)
+	}
+}
+
+// Masked reports the interrupt mask state.
+func (c *CMMU) Masked() bool { return c.masked }
+
+// arrive runs at packet-arrival time (or at unmask/port-free time).
+func (c *CMMU) arrive(env *Env) {
+	if c.masked {
+		c.queued = append(c.queued, env)
+		return
+	}
+	now := c.eng.Now()
+	if c.rxFreeAt > now {
+		// Input port busy with an earlier packet's handler.
+		e := env
+		c.eng.At(c.rxFreeAt, func() { c.arrive(e) })
+		return
+	}
+	h := c.handlers[env.Type]
+	if h == nil {
+		panic(fmt.Sprintf("cmmu: node %d has no handler for message type %d", c.node, env.Type))
+	}
+	if c.st != nil {
+		c.st.Inc(c.node, stats.MsgsRecv)
+	}
+	c.Trace.Emit(now, c.node, trace.KMsgRecv, uint64(env.Type))
+	env.cm = c
+	env.cycles = c.p.InterruptEntry
+	h(env)
+	total := env.cycles
+	c.rxFreeAt = now + total
+	if c.sink != nil {
+		c.sink.StealCycles(c.node, total)
+	}
+	if c.st != nil {
+		c.st.Add(c.node, stats.IntStolenCycles, int64(total))
+	}
+}

@@ -1,0 +1,227 @@
+package cmmu_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alewife/internal/cmmu"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+	"alewife/internal/sim"
+)
+
+const (
+	mtScatter = iota + 50
+	mtMultiRegion
+	mtChain
+	mtProbe
+)
+
+func TestMultiRegionGather(t *testing.T) {
+	// Figure 5: multiple address-length pairs concatenate several source
+	// regions into one packet.
+	m := newM(2)
+	a := m.Store.AllocOn(0, 4)
+	b := m.Store.AllocOn(0, 4)
+	dst := m.Store.AllocOn(1, 8)
+	for i := uint64(0); i < 4; i++ {
+		m.Store.Write(a+mem.Addr(i), 10+i)
+		m.Store.Write(b+mem.Addr(i), 20+i)
+	}
+	m.Nodes[1].CMMU.Register(mtMultiRegion, func(e *cmmu.Env) {
+		if len(e.Data) != 8 {
+			t.Errorf("gathered %d words, want 8", len(e.Data))
+		}
+		e.Storeback(dst, e.Data)
+	})
+	m.Spawn(0, 0, "s", func(p *machine.Proc) {
+		p.SendMessage(cmmu.Descriptor{
+			Type: mtMultiRegion, Dst: 1,
+			Regions: []cmmu.Region{{Base: a, Words: 4}, {Base: b, Words: 4}},
+		})
+	})
+	m.Run()
+	for i := uint64(0); i < 4; i++ {
+		if m.Store.Read(dst+mem.Addr(i)) != 10+i || m.Store.Read(dst+mem.Addr(4+i)) != 20+i {
+			t.Fatalf("concatenation wrong at %d", i)
+		}
+	}
+}
+
+func TestScatterWithMultipleStorebacks(t *testing.T) {
+	// A handler may issue several storebacks to scatter one packet.
+	m := newM(2)
+	src := m.Store.AllocOn(0, 6)
+	d1 := m.Store.AllocOn(1, 2)
+	d2 := m.Store.AllocOn(1, 4)
+	for i := uint64(0); i < 6; i++ {
+		m.Store.Write(src+mem.Addr(i), 100+i)
+	}
+	m.Nodes[1].CMMU.Register(mtScatter, func(e *cmmu.Env) {
+		e.Storeback(d1, e.Data[:2])
+		e.Storeback(d2, e.Data[2:])
+	})
+	m.Spawn(0, 0, "s", func(p *machine.Proc) {
+		p.SendMessage(cmmu.Descriptor{
+			Type: mtScatter, Dst: 1,
+			Regions: []cmmu.Region{{Base: src, Words: 6}},
+		})
+	})
+	m.Run()
+	if m.Store.Read(d1+1) != 101 || m.Store.Read(d2+3) != 105 {
+		t.Fatal("scatter wrong")
+	}
+}
+
+func TestHandlerReplyChain(t *testing.T) {
+	// Handlers replying to handlers: a 4-hop message chain around the
+	// machine, each hop at interrupt level.
+	m := newM(4)
+	var visits []int
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Nodes[i].CMMU.Register(mtChain, func(e *cmmu.Env) {
+			e.ReadOps(1)
+			visits = append(visits, i)
+			hops := e.Ops[0]
+			if hops > 0 {
+				e.Reply(cmmu.Descriptor{Type: mtChain, Dst: (i + 1) % 4, Ops: []uint64{hops - 1}})
+			}
+		})
+	}
+	m.Spawn(0, 0, "s", func(p *machine.Proc) {
+		p.SendMessage(cmmu.Descriptor{Type: mtChain, Dst: 1, Ops: []uint64{3}})
+	})
+	m.Run()
+	want := []int{1, 2, 3, 0}
+	if len(visits) != 4 {
+		t.Fatalf("chain visited %v", visits)
+	}
+	for i := range want {
+		if visits[i] != want[i] {
+			t.Fatalf("chain order %v, want %v", visits, want)
+		}
+	}
+}
+
+func TestSendCostScalesWithDescriptor(t *testing.T) {
+	m := newM(2)
+	small := m.Nodes[0].CMMU.SendCost(cmmu.Descriptor{Dst: 1, Ops: []uint64{1}})
+	big := m.Nodes[0].CMMU.SendCost(cmmu.Descriptor{Dst: 1, Ops: make([]uint64, 14)})
+	withRegion := m.Nodes[0].CMMU.SendCost(cmmu.Descriptor{
+		Dst: 1, Regions: []cmmu.Region{{Base: 0, Words: 100}},
+	})
+	if big <= small {
+		t.Fatalf("describe cost did not scale: %d vs %d", small, big)
+	}
+	if withRegion <= small-1 {
+		t.Fatalf("address-length pair cost missing: %d", withRegion)
+	}
+	// DMA length must NOT appear in describe cost (the processor only
+	// writes the address-length pair).
+	huge := m.Nodes[0].CMMU.SendCost(cmmu.Descriptor{
+		Dst: 1, Regions: []cmmu.Region{{Base: 0, Words: 100000}},
+	})
+	if huge != withRegion {
+		t.Fatalf("describe cost depends on DMA length: %d vs %d", huge, withRegion)
+	}
+}
+
+func TestMaskedMessagesPreserveOrder(t *testing.T) {
+	m := newM(2)
+	var order []uint64
+	m.Nodes[1].CMMU.Register(mtProbe, func(e *cmmu.Env) {
+		order = append(order, e.Ops[0])
+	})
+	m.Spawn(0, 0, "s", func(p *machine.Proc) {
+		for i := uint64(0); i < 5; i++ {
+			p.SendMessage(cmmu.Descriptor{Type: mtProbe, Dst: 1, Ops: []uint64{i}})
+			p.Elapse(10)
+		}
+	})
+	m.Spawn(1, 0, "r", func(p *machine.Proc) {
+		p.MaskInterrupts()
+		p.Elapse(5000)
+		p.UnmaskInterrupts()
+	})
+	m.Run()
+	if len(order) != 5 {
+		t.Fatalf("delivered %d messages", len(order))
+	}
+	for i, v := range order {
+		if v != uint64(i) {
+			t.Fatalf("masked drain out of order: %v", order)
+		}
+	}
+}
+
+func TestBigDMATransferTiming(t *testing.T) {
+	// A 4 KB transfer must take at least its wire serialization time
+	// (2048 flits at 2 bytes/flit/cycle) and far less than a loads/stores
+	// loop would.
+	m := newM(2)
+	const words = 512
+	src := m.Store.AllocOn(0, words)
+	dst := m.Store.AllocOn(1, words)
+	var arrive sim.Time
+	m.Nodes[1].CMMU.Register(mtScatter, func(e *cmmu.Env) {
+		e.Storeback(dst, e.Data)
+		arrive = e.Now()
+	})
+	m.Spawn(0, 0, "s", func(p *machine.Proc) {
+		p.SendMessage(cmmu.Descriptor{
+			Type: mtScatter, Dst: 1,
+			Regions: []cmmu.Region{{Base: src, Words: words}},
+		})
+	})
+	m.Run()
+	if arrive < 2048 {
+		t.Fatalf("4KB message arrived in %d cycles, below wire serialization", arrive)
+	}
+	if arrive > 4000 {
+		t.Fatalf("4KB message took %d cycles, too slow", arrive)
+	}
+}
+
+// Property: any descriptor's gathered payload equals the source memory
+// contents at send time, independent of region partitioning.
+func TestPropertyGatherEqualsMemory(t *testing.T) {
+	f := func(cut uint8, n uint8) bool {
+		words := uint64(n%32) + 2
+		k := uint64(cut) % (words - 1)
+		if k == 0 {
+			k = 1
+		}
+		m := newM(2)
+		src := m.Store.AllocOn(0, words)
+		for i := uint64(0); i < words; i++ {
+			m.Store.Write(src+mem.Addr(i), i*i+7)
+		}
+		got := []uint64(nil)
+		m.Nodes[1].CMMU.Register(mtProbe, func(e *cmmu.Env) {
+			got = append([]uint64(nil), e.Data...)
+		})
+		m.Spawn(0, 0, "s", func(p *machine.Proc) {
+			p.SendMessage(cmmu.Descriptor{
+				Type: mtProbe, Dst: 1,
+				Regions: []cmmu.Region{
+					{Base: src, Words: k},
+					{Base: src + mem.Addr(k), Words: words - k},
+				},
+			})
+		})
+		m.Run()
+		if uint64(len(got)) != words {
+			return false
+		}
+		for i := uint64(0); i < words; i++ {
+			if got[i] != i*i+7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

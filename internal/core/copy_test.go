@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+)
+
+// Property: all three copy mechanisms move arbitrary data intact between
+// arbitrary node pairs.
+func TestPropertyCopyIntegrity(t *testing.T) {
+	f := func(seed uint16, sizeRaw uint8, dstRaw uint8) bool {
+		words := uint64(sizeRaw%100) + 1
+		dstNode := int(dstRaw)%3 + 1
+		rt := newRT(4, ModeHybrid)
+		src := rt.M.Store.AllocOn(0, words)
+		dst := rt.M.Store.AllocOn(dstNode, words)
+		for i := uint64(0); i < words; i++ {
+			rt.M.Store.Write(src+mem.Addr(i), uint64(seed)*1000003+i)
+		}
+		mode := seed % 3
+		rt.M.Spawn(0, 0, "c", func(p *machine.Proc) {
+			switch mode {
+			case 0:
+				CopySM(p, dst, src, words, false)
+			case 1:
+				CopySM(p, dst, src, words, true)
+			case 2:
+				rt.CopyMP(p, dstNode, dst, src, words)
+			}
+		})
+		rt.M.Run()
+		for i := uint64(0); i < words; i++ {
+			if rt.M.Store.Read(dst+mem.Addr(i)) != uint64(seed)*1000003+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyMPAsyncCompletion(t *testing.T) {
+	rt := newRT(4, ModeHybrid)
+	const words = 64
+	src := rt.M.Store.AllocOn(0, words)
+	dst := rt.M.Store.AllocOn(2, words)
+	rt.M.Store.Write(src, 42)
+	var sendDone, copyDone uint64
+	rt.M.Spawn(0, 0, "c", func(p *machine.Proc) {
+		g := rt.CopyMPAsync(p, 2, dst, src, words)
+		p.Flush()
+		sendDone = p.Ctx.Now()
+		g.Wait(p.Ctx)
+		copyDone = p.Ctx.Now()
+	})
+	rt.M.Run()
+	if copyDone <= sendDone {
+		t.Fatalf("async completion (%d) not after launch (%d)", copyDone, sendDone)
+	}
+	if rt.M.Store.Read(dst) != 42 {
+		t.Fatal("async copy lost data")
+	}
+}
+
+func TestCopyMPNotifyRunsWatcher(t *testing.T) {
+	rt := newRT(2, ModeHybrid)
+	const words = 8
+	src := rt.M.Store.AllocOn(0, words)
+	dst := rt.M.Store.AllocOn(1, words)
+	rt.M.Store.Write(src+3, 77)
+	fired := 0
+	rt.RegisterCopyWatcher(12345, func() {
+		fired++
+		if rt.M.Store.Read(dst+3) != 77 {
+			t.Error("watcher ran before data was stored")
+		}
+	})
+	rt.M.Spawn(0, 0, "c", func(p *machine.Proc) {
+		rt.CopyMPNotify(p, 1, dst, src, words, 12345)
+	})
+	rt.M.Run()
+	if fired != 1 {
+		t.Fatalf("watcher fired %d times, want 1", fired)
+	}
+}
+
+func TestDuplicateWatcherPanics(t *testing.T) {
+	rt := newRT(2, ModeHybrid)
+	rt.RegisterCopyWatcher(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected duplicate-watcher panic")
+		}
+	}()
+	rt.RegisterCopyWatcher(1, func() {})
+}
+
+func TestFetchMPFromEveryNode(t *testing.T) {
+	const nodes = 6
+	rt := newRT(nodes, ModeHybrid)
+	for srcNode := 1; srcNode < nodes; srcNode++ {
+		words := uint64(srcNode * 4)
+		src := rt.M.Store.AllocOn(srcNode, words)
+		dst := rt.M.Store.AllocOn(0, words)
+		for i := uint64(0); i < words; i++ {
+			rt.M.Store.Write(src+mem.Addr(i), uint64(srcNode)<<32|i)
+		}
+		sn := srcNode
+		rt.M.Spawn(0, rt.M.Eng.Now(), "f", func(p *machine.Proc) {
+			rt.FetchMP(p, sn, dst, src, words)
+		})
+		rt.M.Run()
+		for i := uint64(0); i < words; i++ {
+			if got := rt.M.Store.Read(dst + mem.Addr(i)); got != uint64(sn)<<32|i {
+				t.Fatalf("fetch from %d: dst[%d] = %#x", sn, i, got)
+			}
+		}
+	}
+}
+
+func TestCopySMSelfToSelf(t *testing.T) {
+	// Local-to-local copy (both buffers on the copier's node) must work
+	// and be cheap: no network transactions at all after warmup.
+	rt := newRT(2, ModeSharedMemory)
+	const words = 32
+	src := rt.M.Store.AllocOn(0, words)
+	dst := rt.M.Store.AllocOn(0, words)
+	for i := uint64(0); i < words; i++ {
+		rt.M.Store.Write(src+mem.Addr(i), i*3)
+	}
+	var cycles uint64
+	rt.M.Spawn(0, 0, "c", func(p *machine.Proc) {
+		p.Flush()
+		s := p.Ctx.Now()
+		CopySM(p, dst, src, words, false)
+		cycles = p.Ctx.Now() - s
+	})
+	rt.M.Run()
+	for i := uint64(0); i < words; i++ {
+		if rt.M.Store.Read(dst+mem.Addr(i)) != i*3 {
+			t.Fatal("local copy corrupted data")
+		}
+	}
+	// 32 words = 16 lines; all local misses, no remote traffic.
+	if cycles > 16*30+words*10 {
+		t.Fatalf("local copy took %d cycles, too slow", cycles)
+	}
+}
+
+func TestCopyMPZeroAndOneWord(t *testing.T) {
+	rt := newRT(2, ModeHybrid)
+	src := rt.M.Store.AllocOn(0, 2)
+	dst := rt.M.Store.AllocOn(1, 2)
+	rt.M.Store.Write(src, 9)
+	rt.M.Spawn(0, 0, "c", func(p *machine.Proc) {
+		rt.CopyMP(p, 1, dst, src, 1)
+	})
+	rt.M.Run()
+	if rt.M.Store.Read(dst) != 9 {
+		t.Fatal("one-word MP copy failed")
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alewife/internal/cmmu"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+	"alewife/internal/sim"
+	"alewife/internal/stats"
+	"alewife/internal/trace"
+)
+
+// core is one node's scheduler: the idle loop, the ready queues, and the
+// work-stealing machinery. The shared-memory scheduler keeps its queues in
+// coherent shared memory and polls; the hybrid scheduler keeps them local,
+// manipulates them from message handlers, and blocks while a steal request
+// is outstanding.
+type core struct {
+	rt   *RT
+	id   int
+	node *machine.Node
+
+	schedProc *machine.Proc
+	current   *Thread
+	rng       *rand.Rand
+
+	// parked is true while the scheduler context is blocked waiting for a
+	// message (hybrid idle); wakeIdle only unblocks a parked scheduler.
+	parked bool
+	// stealPending is true from a steal-request send until its reply
+	// handler runs; it closes the window where the reply lands while the
+	// scheduler is still flushing toward its park.
+	stealPending bool
+	// idleFails drives exponential backoff between fruitless steal sweeps,
+	// so a big idle machine doesn't keep every queue's metadata shared by
+	// dozens of probing thieves (which would turn each push into a
+	// LimitLESS invalidation storm).
+	idleFails uint
+	// nextProbe gates remote steal sweeps in the shared-memory idle loop;
+	// the loop keeps polling its own (local, cached) queues in between.
+	nextProbe sim.Time
+
+	// Shared-memory mode queues (in simulated memory).
+	taskq *smQueue
+	wakeq *smQueue
+
+	// Hybrid mode queues (node-local, handler-shared).
+	htaskq hybridQueue
+	hwakeq hybridQueue
+
+	// scratch is the marshaling buffer batched steal replies gather their
+	// descriptor words from.
+	scratch mem.Addr
+}
+
+func newCore(rt *RT, id int) *core {
+	if rt.P.StealBatch < 1 || rt.P.StealBatch > 15 {
+		panic("core: StealBatch must be in 1..15 (descriptor operand limit)")
+	}
+	c := &core{rt: rt, id: id, node: rt.M.Nodes[id], rng: rng(id)}
+	if rt.Mode == ModeSharedMemory {
+		c.taskq = newSMQueue(rt.M, id, uint64(rt.P.QueueCap))
+		c.wakeq = newSMQueue(rt.M, id, 1024)
+	}
+	c.scratch = rt.M.Store.AllocOn(id, uint64(rt.P.StealBatch*rt.P.TaskWords))
+	return c
+}
+
+// boot starts the scheduler loop context.
+func (c *core) boot() {
+	c.schedProc = c.rt.M.Spawn(c.id, c.rt.M.Eng.Now(), "sched", c.loop)
+}
+
+// pushLocalBoot seeds the initial task before the schedulers run.
+func (c *core) pushLocalBoot(t *Task) {
+	if c.rt.Mode == ModeSharedMemory {
+		t.desc = c.rt.M.Store.AllocOn(c.id, uint64(t.words))
+		t.home = c.id
+		c.taskq.bootPush(c.rt.M, queueItem{task: t})
+	} else {
+		c.htaskq.handlerPush(queueItem{task: t})
+	}
+}
+
+// pushTask makes a forked task available for execution (and theft).
+func (c *core) pushTask(p *machine.Proc, t *Task) {
+	if c.rt.Mode == ModeSharedMemory {
+		t.materialize(p)
+		c.taskq.push(p, queueItem{task: t})
+	} else {
+		c.htaskq.push(p, c.rt.P.QueueOpCycles, queueItem{task: t})
+	}
+}
+
+// next pops local work: runnable threads first (finish in-flight work),
+// then the newest task (depth-first).
+func (c *core) next(p *machine.Proc) queueItem {
+	if c.rt.Mode == ModeSharedMemory {
+		if !c.wakeq.probeEmpty(p) {
+			if it := c.wakeq.pop(p); !it.empty() {
+				return it
+			}
+		}
+		if !c.taskq.probeEmpty(p) {
+			return c.taskq.pop(p)
+		}
+		return queueItem{}
+	}
+	if it := c.hwakeq.pop(p, c.rt.P.QueueOpCycles); !it.empty() {
+		return it
+	}
+	return c.htaskq.pop(p, c.rt.P.QueueOpCycles)
+}
+
+// loop is the scheduler body.
+func (c *core) loop(p *machine.Proc) {
+	for !c.rt.done {
+		it := c.next(p)
+		if it.empty() {
+			c.steal(p)
+			continue
+		}
+		c.idleFails = 0
+		c.dispatch(p, it)
+	}
+}
+
+// backoff sleeps between fruitless sweeps, doubling up to a cap.
+func (c *core) backoff(p *machine.Proc) {
+	d := c.rt.P.IdleBackoff << c.idleFails
+	if max := c.rt.P.IdleBackoff * 32; d > max {
+		d = max
+	} else if c.idleFails < 16 {
+		c.idleFails++
+	}
+	c.rt.M.St.Add(c.id, stats.IdleCycles, int64(d))
+	p.Elapse(d)
+	p.Flush()
+}
+
+// dispatch runs one ready item to completion or suspension.
+func (c *core) dispatch(p *machine.Proc, it queueItem) {
+	p.Elapse(c.rt.P.SwitchCycles)
+	p.Flush()
+	th := it.thread
+	if th == nil {
+		th = c.rt.newThread(it.task, c)
+		c.rt.M.Trace.Emit(p.Ctx.Now(), c.id, trace.KDispatch, th.id)
+		c.current = th
+		th.start()
+	} else {
+		if th.core != c {
+			panic(fmt.Sprintf("core: thread %d resumed on node %d, pinned to %d", th.id, c.id, th.core.id))
+		}
+		c.rt.M.Trace.Emit(p.Ctx.Now(), c.id, trace.KDispatch, th.id)
+		c.current = th
+		th.resume()
+	}
+	// Park until the thread hands the processor back.
+	p.Ctx.Block()
+	c.current = nil
+}
+
+// threadYield is called from a thread context when it finishes or
+// suspends: the node's scheduler resumes.
+func (c *core) threadYield() {
+	c.schedProc.Ctx.Unblock()
+}
+
+// wakeIdle unblocks the scheduler if it is parked waiting for messages.
+func (c *core) wakeIdle() {
+	if c.parked {
+		c.parked = false
+		c.schedProc.Ctx.Unblock()
+	}
+}
+
+// victim picks a steal target != self.
+func (c *core) victim(round int) int {
+	n := c.rt.Cores()
+	if n == 1 {
+		return c.id
+	}
+	if c.rt.Pol == StealScan {
+		// Offset cycles through 1..n-1 so the scan never lands on self.
+		return (c.id + 1 + round%(n-1)) % n
+	}
+	v := c.rng.Intn(n - 1)
+	if v >= c.id {
+		v++
+	}
+	return v
+}
+
+// steal attempts to obtain work from other nodes, then backs off.
+func (c *core) steal(p *machine.Proc) {
+	if c.rt.Cores() == 1 {
+		c.backoff(p)
+		return
+	}
+	if c.rt.Mode == ModeSharedMemory {
+		c.stealSM(p)
+	} else {
+		c.stealHybrid(p)
+	}
+}
+
+// stealSM probes victims' queues directly through shared memory: a cheap
+// head/tail read, then the locked steal — every access a remote coherence
+// transaction. Remote sweeps back off exponentially while the idle loop
+// keeps polling its own queues at the base period (local cached reads).
+func (c *core) stealSM(p *machine.Proc) {
+	if p.Ctx.Now() >= c.nextProbe {
+		found := false
+		for i := 0; i < c.rt.P.MaxProbes && !c.rt.done; i++ {
+			v := c.rt.cores[c.victim(i)]
+			if v.id == c.id {
+				continue
+			}
+			c.rt.M.St.Inc(c.id, stats.StealAttempts)
+			if v.taskq.probeEmpty(p) {
+				c.rt.M.St.Inc(c.id, stats.StealFailures)
+				continue
+			}
+			batch := v.taskq.stealBatch(p, c.rt.P.StealBatch)
+			if len(batch) == 0 {
+				c.rt.M.St.Inc(c.id, stats.StealFailures)
+				continue
+			}
+			c.rt.M.St.Add(c.id, stats.ThreadsStolen, int64(len(batch)))
+			c.rt.M.Trace.Emit(p.Ctx.Now(), c.id, trace.KSteal, uint64(v.id))
+			c.idleFails = 0
+			found = true
+			// Keep the extras locally, run the first.
+			for _, extra := range batch[1:] {
+				c.taskq.push(p, extra)
+			}
+			c.dispatch(p, batch[0])
+			break
+		}
+		if !found {
+			// The backoff cap balances two SM-scheduler pathologies: probe
+			// too fast and dozens of thieves keep every queue's metadata
+			// line in the shared state (each push then pays a LimitLESS
+			// invalidation storm); probe too slowly and the divide-and-
+			// conquer unfold starves. The cap below is the measured sweet
+			// spot at 64 nodes.
+			shift := c.idleFails
+			if shift > 5 {
+				shift = 5
+			}
+			c.nextProbe = p.Ctx.Now() + c.rt.P.IdleBackoff<<shift
+			if c.idleFails < 16 {
+				c.idleFails++
+			}
+		} else {
+			return
+		}
+	}
+	// Poll period for the local queues.
+	c.rt.M.St.Add(c.id, stats.IdleCycles, int64(c.rt.P.IdleBackoff))
+	p.Elapse(c.rt.P.IdleBackoff)
+	p.Flush()
+}
+
+// stealHybrid sends a steal-request message and parks until some message
+// handler wakes the scheduler (task arrival, explicit no-task reply, a
+// wake-up for a local thread, or termination).
+func (c *core) stealHybrid(p *machine.Proc) {
+	v := c.victim(0)
+	if v == c.id {
+		c.backoff(p)
+		return
+	}
+	c.rt.M.St.Inc(c.id, stats.StealAttempts)
+	c.stealPending = true
+	p.SendMessage(cmmu.Descriptor{
+		Type: msgSteal,
+		Dst:  v,
+		Ops:  []uint64{uint64(c.id)},
+	})
+	p.Flush()
+	// The reply (or other work) may have landed during the flush; only park
+	// if it is still outstanding and nothing became runnable.
+	if c.stealPending && len(c.hwakeq.items) == 0 && len(c.htaskq.items) == 0 && !c.rt.done {
+		c.parked = true
+		parkStart := p.Ctx.Now()
+		p.Ctx.Block()
+		c.parked = false
+		c.rt.M.St.Add(c.id, stats.IdleCycles, int64(p.Ctx.Now()-parkStart))
+	}
+	// Loop re-checks the queues; after a fruitless round, back off to avoid
+	// hammering victims with request storms. The backoff is a timed park:
+	// any incoming work message cuts it short via wakeIdle.
+	if len(c.hwakeq.items) == 0 && len(c.htaskq.items) == 0 && !c.rt.done {
+		d := c.rt.P.IdleBackoff << c.idleFails
+		if max := c.rt.P.IdleBackoff * 32; d > max {
+			d = max
+		} else if c.idleFails < 16 {
+			c.idleFails++
+		}
+		c.parked = true
+		parkStart := p.Ctx.Now()
+		p.Ctx.UnblockAt(parkStart + d)
+		p.Ctx.Block()
+		c.parked = false
+		c.rt.M.St.Add(c.id, stats.IdleCycles, int64(p.Ctx.Now()-parkStart))
+	}
+}

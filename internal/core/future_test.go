@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alewife/internal/machine"
+)
+
+func TestFutureResolveBeforeTouch(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(2, mode)
+		v, _ := rt.Run(func(tc *TC) uint64 {
+			f := tc.Fork(func(*TC) uint64 { return 7 })
+			tc.Elapse(100000) // child certainly resolves first
+			return f.Touch(tc)
+		})
+		if v != 7 {
+			t.Fatalf("resolved-before-touch value = %d", v)
+		}
+	})
+}
+
+func TestFutureMultipleWaiters(t *testing.T) {
+	// Several threads touch the same unresolved future; all must wake with
+	// the right value, in both wake mechanisms.
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(4, mode)
+		v, _ := rt.Run(func(tc *TC) uint64 {
+			shared := rt.NewFuture(tc.ID())
+			waiters := make([]*Future, 6)
+			for i := range waiters {
+				waiters[i] = tc.Fork(func(c *TC) uint64 {
+					return shared.Touch(c) + 1
+				})
+			}
+			tc.Elapse(5000)
+			shared.Resolve(tc, 10)
+			var sum uint64
+			for _, f := range waiters {
+				sum += f.Touch(tc)
+			}
+			return sum
+		})
+		if v != 6*11 {
+			t.Fatalf("%v: waiters sum = %d, want 66", mode, v)
+		}
+	})
+}
+
+func TestFutureChain(t *testing.T) {
+	// A chain of futures each waiting on the previous: exercises repeated
+	// suspend/resume of the same threads.
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(4, mode)
+		const depth = 20
+		v, _ := rt.Run(func(tc *TC) uint64 {
+			fs := make([]*Future, depth)
+			for i := 0; i < depth; i++ {
+				i := i
+				fs[i] = tc.Fork(func(c *TC) uint64 {
+					if i == 0 {
+						return 1
+					}
+					return fs[i-1].Touch(c) + 1
+				})
+			}
+			return fs[depth-1].Touch(tc)
+		})
+		if v != depth {
+			t.Fatalf("%v: chain result = %d, want %d", mode, v, depth)
+		}
+	})
+}
+
+func TestFutureHostAccessors(t *testing.T) {
+	rt := newRT(1, ModeHybrid)
+	var f *Future
+	rt.Run(func(tc *TC) uint64 {
+		f = tc.Fork(func(*TC) uint64 { return 5 })
+		return f.Touch(tc)
+	})
+	if !f.Resolved() || f.Value() != 5 {
+		t.Fatalf("host accessors: resolved=%v value=%d", f.Resolved(), f.Value())
+	}
+}
+
+func TestTouchOutsideThreadPanicsWhenUnresolved(t *testing.T) {
+	rt := newRT(1, ModeHybrid)
+	f := rt.NewFuture(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic touching unresolved future outside a thread")
+		}
+	}()
+	rt.M.Spawn(0, 0, "raw", func(p *machine.Proc) {
+		tc := &TC{P: p, RT: rt}
+		f.Touch(tc)
+	})
+	rt.M.Run()
+}
+
+// Property: arbitrary fork trees produce the same sum under both modes and
+// any steal policy — the runtime never loses or duplicates work.
+func TestPropertyForkTreeSum(t *testing.T) {
+	f := func(shape []uint8) bool {
+		if len(shape) == 0 {
+			return true
+		}
+		if len(shape) > 24 {
+			shape = shape[:24]
+		}
+		want := uint64(0)
+		for _, s := range shape {
+			want += uint64(s)
+		}
+		for _, mode := range []Mode{ModeSharedMemory, ModeHybrid} {
+			rt := newRT(4, mode)
+			got, _ := rt.Run(func(tc *TC) uint64 {
+				fs := make([]*Future, len(shape))
+				for i, s := range shape {
+					v := uint64(s)
+					work := uint64(s%17) * 10
+					fs[i] = tc.Fork(func(c *TC) uint64 {
+						c.Elapse(work)
+						return v
+					})
+				}
+				var sum uint64
+				for _, fu := range fs {
+					sum += fu.Touch(tc)
+				}
+				return sum
+			})
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"alewife/internal/cmmu"
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+)
+
+// SyncReduce is the combining tree put to its classic full use: a global
+// barrier that also reduces (sums) one value per processor, returning the
+// total to every participant. The shared-memory version combines partial
+// sums in per-node accumulators with atomic adds on the way up and fans
+// the result out with remote writes on the way down; the hybrid version
+// bundles partial sums into the arrival messages and the total into the
+// wake-up messages — data riding the synchronization both ways, the
+// paper's Section 2.2 point once more.
+//
+// Accumulators are double-banked by epoch parity; a bank is reset by its
+// owner immediately after being consumed, which the barrier ordering makes
+// safe (no epoch e+2 contribution can arrive before epoch e+1 completed).
+
+// reduceState is allocated lazily on first SyncReduce.
+type reduceState struct {
+	// Shared-memory banks: racc[par][i] accumulates at node i, rres[par][i]
+	// carries the result down to node i.
+	racc [2][]mem.Addr
+	rres [2][]mem.Addr
+
+	// Hybrid handler state.
+	hsum   []uint64
+	htotal []uint64
+}
+
+func (b *Barrier) reduce() *reduceState {
+	if b.red != nil {
+		return b.red
+	}
+	n := b.rt.Cores()
+	r := &reduceState{
+		hsum:   make([]uint64, n),
+		htotal: make([]uint64, n),
+	}
+	for par := 0; par < 2; par++ {
+		r.racc[par] = make([]mem.Addr, n)
+		r.rres[par] = make([]mem.Addr, n)
+		for i := 0; i < n; i++ {
+			r.racc[par][i] = b.rt.M.Store.AllocOn(i, mem.LineWords)
+			r.rres[par][i] = b.rt.M.Store.AllocOn(i, mem.LineWords)
+		}
+	}
+	b.red = r
+	return r
+}
+
+// SyncReduce enters the barrier contributing val and returns the sum of
+// every processor's contribution for this episode.
+func (b *Barrier) SyncReduce(p *machine.Proc, val uint64) uint64 {
+	if b.rt.Cores() == 1 {
+		b.epoch[p.ID()]++
+		return val
+	}
+	if b.rt.Mode == ModeHybrid {
+		return b.reduceHybrid(p, val)
+	}
+	return b.reduceSM(p, val)
+}
+
+// reduceSM is the cache-coherent combining tree with value combining.
+func (b *Barrier) reduceSM(p *machine.Proc, val uint64) uint64 {
+	r := b.reduce()
+	i := p.ID()
+	a := b.smAr
+	e := b.epoch[i] + 1
+	b.epoch[i] = e
+	par := int(e & 1)
+	nch := uint64(b.nchildren(i, a))
+	if nch > 0 {
+		for p.Read(b.cnt[i]) < e*nch {
+			p.Elapse(spinCycles)
+			p.Flush()
+		}
+	}
+	// Fold the children's contributions into ours and reset the bank.
+	combined := val + p.Read(r.racc[par][i])
+	p.Write(r.racc[par][i], 0)
+
+	var total uint64
+	if i == 0 {
+		total = combined
+	} else {
+		// Partial sum first, then the arrival count the parent spins on.
+		p.FetchAdd(r.racc[par][parent(i, a)], combined)
+		p.FetchAdd(b.cnt[parent(i, a)], 1)
+		for p.Read(b.wake[i]) < e {
+			p.Elapse(spinCycles)
+			p.Flush()
+		}
+		total = p.Read(r.rres[par][i])
+	}
+	for _, ch := range b.children(i, a) {
+		p.Write(r.rres[par][ch], total)
+		p.Write(b.wake[ch], e)
+	}
+	return total
+}
+
+// reduceHybrid bundles partial sums into arrivals and the total into
+// wake-ups.
+func (b *Barrier) reduceHybrid(p *machine.Proc, val uint64) uint64 {
+	r := b.reduce()
+	i := p.ID()
+	e := b.epoch[i] + 1
+	b.epoch[i] = e
+
+	p.MaskInterrupts()
+	p.Elapse(barHandlerCycles)
+	r.hsum[i] += val
+	b.harrived[i]++
+	full := b.harrived[i] == uint64(b.nchildren(i, b.arity))+1
+	var sum uint64
+	if full {
+		b.harrived[i] = 0
+		sum = r.hsum[i]
+		r.hsum[i] = 0
+	}
+	p.UnmaskInterrupts()
+	if full {
+		b.completeReduce(i, e, sum, p, nil)
+	}
+	p.Flush()
+	if b.hepoch[i] < e {
+		b.hwait[i] = p
+		p.Ctx.Block()
+		b.hwait[i] = nil
+	}
+	return r.htotal[i]
+}
+
+// completeReduce fires when node i has all arrivals (and their sums).
+func (b *Barrier) completeReduce(i int, e, sum uint64, p *machine.Proc, env *cmmu.Env) {
+	if i == 0 {
+		b.releaseReduce(i, e, sum, p, env)
+		return
+	}
+	d := cmmu.Descriptor{Type: msgBarArrive, Dst: parent(i, b.arity), Ops: []uint64{e, sum, 1}}
+	if p != nil {
+		p.SendMessage(d)
+	} else {
+		env.Reply(d)
+	}
+}
+
+// releaseReduce distributes the total down the tree.
+func (b *Barrier) releaseReduce(i int, e, total uint64, p *machine.Proc, env *cmmu.Env) {
+	r := b.reduce()
+	r.htotal[i] = total
+	b.hepoch[i] = e
+	for _, ch := range b.children(i, b.arity) {
+		d := cmmu.Descriptor{Type: msgBarWake, Dst: ch, Ops: []uint64{e, total, 1}}
+		if p != nil {
+			p.SendMessage(d)
+		} else {
+			env.Reply(d)
+		}
+	}
+	if w := b.hwait[i]; w != nil {
+		w.Ctx.Unblock()
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alewife/internal/machine"
+)
+
+func TestSyncReduceSums(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const nodes = 16
+		rt := newRT(nodes, mode)
+		want := uint64(nodes * (nodes + 1) / 2)
+		totals := make([]uint64, nodes)
+		rt.SPMD(func(p *machine.Proc) {
+			totals[p.ID()] = rt.Barrier().SyncReduce(p, uint64(p.ID())+1)
+		})
+		for i, got := range totals {
+			if got != want {
+				t.Fatalf("%v: node %d total = %d, want %d", mode, i, got, want)
+			}
+		}
+	})
+}
+
+func TestSyncReduceRepeated(t *testing.T) {
+	// Bank reuse across epochs (parity double-banking).
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const nodes, rounds = 8, 6
+		rt := newRT(nodes, mode)
+		bad := false
+		rt.SPMD(func(p *machine.Proc) {
+			for r := 0; r < rounds; r++ {
+				contrib := uint64(p.ID() + r)
+				want := uint64(0)
+				for i := 0; i < nodes; i++ {
+					want += uint64(i + r)
+				}
+				if got := rt.Barrier().SyncReduce(p, contrib); got != want {
+					bad = true
+				}
+				p.Elapse(uint64(p.ID()*13 + 7)) // skew next epoch
+			}
+		})
+		if bad {
+			t.Fatalf("%v: a reduction returned the wrong total", mode)
+		}
+	})
+}
+
+func TestSyncReduceSingleNode(t *testing.T) {
+	rt := newRT(1, ModeHybrid)
+	var got uint64
+	rt.SPMD(func(p *machine.Proc) {
+		got = rt.Barrier().SyncReduce(p, 42)
+	})
+	if got != 42 {
+		t.Fatalf("1-node reduce = %d", got)
+	}
+}
+
+func TestSyncReduceMixedWithPlainSync(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const nodes = 6
+		rt := newRT(nodes, mode)
+		bad := false
+		rt.SPMD(func(p *machine.Proc) {
+			rt.Barrier().Sync(p)
+			if rt.Barrier().SyncReduce(p, 2) != 2*nodes {
+				bad = true
+			}
+			rt.Barrier().Sync(p)
+			if rt.Barrier().SyncReduce(p, 1) != nodes {
+				bad = true
+			}
+		})
+		if bad {
+			t.Fatalf("%v: interleaving Sync and SyncReduce broke totals", mode)
+		}
+	})
+}
+
+// Property: for any per-node contributions, every node sees the exact sum,
+// under both modes and odd arity.
+func TestPropertySyncReduceExact(t *testing.T) {
+	f := func(vals []uint16, arity uint8) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		if len(vals) > 12 {
+			vals = vals[:12]
+		}
+		a := int(arity%3) + 2
+		var want uint64
+		for _, v := range vals {
+			want += uint64(v)
+		}
+		for _, mode := range []Mode{ModeSharedMemory, ModeHybrid} {
+			rt := newRT(len(vals), mode)
+			rt.Barrier().SetArity(a, a)
+			ok := true
+			rt.SPMD(func(p *machine.Proc) {
+				if rt.Barrier().SyncReduce(p, uint64(vals[p.ID()])) != want {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

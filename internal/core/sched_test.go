@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"alewife/internal/machine"
+	"alewife/internal/stats"
+)
+
+func TestDeepForkTree(t *testing.T) {
+	// Depth 12 on one node: thousands of green threads multiplexed on a
+	// single processor without deadlock or stack issues.
+	rt := newRT(1, ModeHybrid)
+	v, _ := rt.Run(func(tc *TC) uint64 { return treeSum(tc, 12) })
+	if v != 4096 {
+		t.Fatalf("deep tree sum = %d, want 4096", v)
+	}
+}
+
+func TestWideFork(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(8, mode)
+		const width = 500
+		v, _ := rt.Run(func(tc *TC) uint64 {
+			fs := make([]*Future, width)
+			for i := range fs {
+				fs[i] = tc.Fork(func(c *TC) uint64 {
+					c.Elapse(50)
+					return 1
+				})
+			}
+			var sum uint64
+			for _, f := range fs {
+				sum += f.Touch(tc)
+			}
+			return sum
+		})
+		if v != width {
+			t.Fatalf("%v: wide fork sum = %d, want %d", mode, v, width)
+		}
+	})
+}
+
+func TestWorkSpreadsAcrossNodes(t *testing.T) {
+	// With enough parallel slack, every node should run at least one
+	// thread in both modes.
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const nodes = 8
+		rt := newRT(nodes, mode)
+		ran := make([]bool, nodes)
+		rt.Run(func(tc *TC) uint64 {
+			fs := make([]*Future, 64)
+			for i := range fs {
+				fs[i] = tc.Fork(func(c *TC) uint64 {
+					ran[c.ID()] = true
+					c.Elapse(3000)
+					return 1
+				})
+			}
+			var s uint64
+			for _, f := range fs {
+				s += f.Touch(tc)
+			}
+			return s
+		})
+		for i, r := range ran {
+			if !r {
+				t.Fatalf("%v: node %d never ran a thread", mode, i)
+			}
+		}
+	})
+}
+
+func TestSchedulerCountsThreads(t *testing.T) {
+	rt := newRT(4, ModeHybrid)
+	rt.Run(func(tc *TC) uint64 {
+		f := tc.Fork(func(*TC) uint64 { return 1 })
+		g := tc.Fork(func(*TC) uint64 { return 2 })
+		return f.Touch(tc) + g.Touch(tc)
+	})
+	// Root + 2 children = 3 threads.
+	if got := rt.M.St.Global.Get(stats.ThreadsCreated); got != 3 {
+		t.Fatalf("threads created = %d, want 3", got)
+	}
+}
+
+func TestHybridStealsCarryWholeTask(t *testing.T) {
+	// In hybrid mode a migrated task must not generate shared-memory
+	// coherence traffic for its descriptor: count protocol messages for a
+	// pure fork/steal workload and compare with SM mode.
+	traffic := func(mode Mode) int64 {
+		rt := newRT(4, mode)
+		rt.Run(func(tc *TC) uint64 {
+			fs := make([]*Future, 32)
+			for i := range fs {
+				fs[i] = tc.Fork(func(c *TC) uint64 {
+					c.Elapse(2000)
+					return 1
+				})
+			}
+			var s uint64
+			for _, f := range fs {
+				s += f.Touch(tc)
+			}
+			return s
+		})
+		return rt.M.St.Global.Get(stats.ProtoMsgs)
+	}
+	sm := traffic(ModeSharedMemory)
+	hy := traffic(ModeHybrid)
+	t.Logf("coherence protocol messages: SM=%d hybrid=%d", sm, hy)
+	if hy*2 > sm {
+		t.Fatalf("hybrid scheduler generated too much coherence traffic: %d vs %d", hy, sm)
+	}
+}
+
+func TestRunWithZeroWorkParallelism(t *testing.T) {
+	// Idle nodes must terminate cleanly when the root never forks.
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(16, mode)
+		v, _ := rt.Run(func(tc *TC) uint64 {
+			tc.Elapse(10000)
+			return 5
+		})
+		if v != 5 {
+			t.Fatalf("result = %d", v)
+		}
+	})
+}
+
+func TestCallInline(t *testing.T) {
+	rt := newRT(2, ModeHybrid)
+	v, _ := rt.Run(func(tc *TC) uint64 {
+		return tc.Call(func(c *TC) uint64 {
+			c.Elapse(10)
+			return 21
+		}) * 2
+	})
+	if v != 42 {
+		t.Fatalf("inline call = %d, want 42", v)
+	}
+}
+
+func TestInvokeManyTargets(t *testing.T) {
+	// Invoked tasks land on their target's queue; an idle peer may still
+	// steal one before the target dispatches it (they are ordinary tasks
+	// once queued), so the assertion is conservation — every task runs
+	// exactly once and resolves with the id of whichever node ran it.
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const nodes = 8
+		rt := newRT(nodes, mode)
+		ran := make([]int, nodes)
+		v, _ := rt.Run(func(tc *TC) uint64 {
+			fs := make([]*Future, nodes-1)
+			for dst := 1; dst < nodes; dst++ {
+				f := rt.NewFuture(tc.ID())
+				fs[dst-1] = f
+				task := rt.NewInvokeTask(func(c *TC) {
+					ran[c.ID()]++
+					f.Resolve(c, uint64(c.ID()))
+				})
+				rt.Invoke(tc.P, dst, task)
+			}
+			var sum uint64
+			for _, f := range fs {
+				sum += f.Touch(tc)
+			}
+			return sum
+		})
+		total, idSum := 0, uint64(0)
+		for id, n := range ran {
+			total += n
+			idSum += uint64(id) * uint64(n)
+		}
+		if total != nodes-1 {
+			t.Fatalf("%v: %d tasks ran, want %d", mode, total, nodes-1)
+		}
+		if v != idSum {
+			t.Fatalf("%v: futures sum %d != runner-id sum %d", mode, v, idSum)
+		}
+	})
+}
+
+func TestStolenCyclesChargedToVictim(t *testing.T) {
+	// A node bombarded with messages must record stolen cycles.
+	rt := newRT(2, ModeHybrid)
+	rt.M.Spawn(0, 0, "sender", func(p *machine.Proc) {
+		for i := 0; i < 10; i++ {
+			task := rt.NewInvokeTask(func(c *TC) {})
+			rt.Invoke(p, 1, task)
+			p.Elapse(100)
+		}
+	})
+	rt.M.Spawn(1, 0, "victim", func(p *machine.Proc) {
+		for i := 0; i < 20; i++ {
+			p.Elapse(100)
+			p.Flush()
+		}
+	})
+	rt.M.Run()
+	if rt.M.St.Node[1].Get(stats.IntStolenCycles) == 0 {
+		t.Fatal("no stolen cycles recorded on the bombarded node")
+	}
+}

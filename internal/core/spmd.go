@@ -1,0 +1,26 @@
+package core
+
+import (
+	"alewife/internal/machine"
+	"alewife/internal/sim"
+)
+
+// SPMD runs body once on every node simultaneously (outside the thread
+// scheduler — the style jacobi and the barrier microbenchmarks use) and
+// returns when all instances finish, reporting total cycles from launch to
+// the last completion.
+func (rt *RT) SPMD(body func(p *machine.Proc)) (cycles uint64) {
+	start := rt.M.Eng.Now()
+	var end sim.Time
+	for i := 0; i < rt.Cores(); i++ {
+		rt.M.Spawn(i, start, "spmd", func(p *machine.Proc) {
+			body(p)
+			p.Flush()
+			if t := p.Ctx.Now(); t > end {
+				end = t
+			}
+		})
+	}
+	rt.M.Run()
+	return end - start
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"alewife/internal/machine"
+)
+
+func batchRT(nodes int, mode Mode, batch int) *RT {
+	p := DefaultParams()
+	p.StealBatch = batch
+	return New(machine.New(machine.DefaultConfig(nodes)), mode, p, StealRandom)
+}
+
+func TestStealBatchCorrectBothModes(t *testing.T) {
+	for _, batch := range []int{2, 4, 8} {
+		for _, mode := range []Mode{ModeSharedMemory, ModeHybrid} {
+			rt := batchRT(4, mode, batch)
+			v, _ := rt.Run(func(tc *TC) uint64 { return treeSum(tc, 7) })
+			if v != 128 {
+				t.Fatalf("mode %v batch %d: sum = %d", mode, batch, v)
+			}
+		}
+	}
+}
+
+func TestStealBatchInvalidPanics(t *testing.T) {
+	for _, bad := range []int{0, 16, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("StealBatch=%d did not panic", bad)
+				}
+			}()
+			batchRT(2, ModeHybrid, bad)
+		}()
+	}
+}
+
+func TestStealBatchLeavesVictimHalf(t *testing.T) {
+	// steal-half: a thief must not drain a victim's queue completely when
+	// the victim has several tasks.
+	m := machine.New(machine.DefaultConfig(2))
+	q := newSMQueue(m, 0, 64)
+	m.Spawn(0, 0, "victim", func(p *machine.Proc) {
+		for i := uint64(1); i <= 8; i++ {
+			q.push(p, queueItem{task: mkTask(i)})
+		}
+	})
+	m.Run()
+	m.Spawn(1, m.Eng.Now(), "thief", func(p *machine.Proc) {
+		got := q.stealBatch(p, 15)
+		if len(got) != 4 {
+			t.Errorf("stole %d of 8, want half (4)", len(got))
+		}
+		// Oldest first.
+		for i, it := range got {
+			if it.task.id != uint64(i+1) {
+				t.Errorf("batch[%d] = task %d", i, it.task.id)
+			}
+		}
+	})
+	m.Run()
+	if q.size() != 4 {
+		t.Fatalf("victim left with %d tasks", q.size())
+	}
+}
+
+func TestHybridStealBatchHalf(t *testing.T) {
+	var q hybridQueue
+	for i := uint64(1); i <= 5; i++ {
+		q.handlerPush(queueItem{task: mkTask(i)})
+	}
+	got := q.handlerStealBatch(10)
+	if len(got) != 3 { // ceil(5/2)
+		t.Fatalf("stole %d of 5, want 3", len(got))
+	}
+	if len(q.items) != 2 {
+		t.Fatalf("victim left with %d", len(q.items))
+	}
+}
+
+func TestStealBatchSpeedsUpFineGrain(t *testing.T) {
+	// Batching must help (or at least not hurt much) on fine-grained work.
+	single := apps_grain(t, 1)
+	batched := apps_grain(t, 8)
+	t.Logf("grain d8 l=0 on 8 nodes: batch1=%d cycles, batch8=%d cycles", single, batched)
+	if float64(batched) > 1.25*float64(single) {
+		t.Fatalf("batching hurt badly: %d vs %d", batched, single)
+	}
+}
+
+// apps_grain runs a small fine-grained fork tree without importing apps
+// (avoiding an import cycle).
+func apps_grain(t *testing.T, batch int) uint64 {
+	t.Helper()
+	rt := batchRT(8, ModeHybrid, batch)
+	var rec func(tc *TC, d int) uint64
+	rec = func(tc *TC, d int) uint64 {
+		tc.Elapse(28)
+		if d == 0 {
+			return 1
+		}
+		f := tc.Fork(func(c *TC) uint64 { return rec(c, d-1) })
+		return rec(tc, d-1) + f.Touch(tc)
+	}
+	v, cyc := rt.Run(func(tc *TC) uint64 { return rec(tc, 8) })
+	if v != 256 {
+		t.Fatalf("sum = %d", v)
+	}
+	return cyc
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+)
+
+// Task is an unstarted unit of work: a closure plus a descriptor in the
+// creating node's memory. Creation is cheap and local (lazy task creation);
+// communication costs are paid only if the task migrates.
+type Task struct {
+	id    uint64
+	fn    func(*TC)
+	desc  mem.Addr // descriptor words in the creating node's memory
+	words int
+	home  int // creating node
+}
+
+// newTask registers a closure as a schedulable task without allocating its
+// simulated descriptor (boot tasks, handler-built tasks carried by value).
+func (rt *RT) newTask(fn func(*TC)) *Task {
+	t := &Task{id: rt.newTaskID(), fn: fn, words: rt.P.TaskWords, home: -1}
+	rt.tasks[t.id] = t
+	return t
+}
+
+// materialize writes the task descriptor into node-local memory, charging
+// the creating processor; needed before a task can be stolen through
+// shared memory.
+func (t *Task) materialize(p *machine.Proc) {
+	if t.desc != 0 {
+		return
+	}
+	t.home = p.ID()
+	t.desc = p.Store().AllocOn(t.home, uint64(t.words))
+	for w := 0; w < t.words; w++ {
+		p.Write(t.desc+mem.Addr(w), t.id)
+	}
+}
+
+// TC is the thread context handed to every task body: the processor it is
+// running on, the runtime, and the thread identity used for suspension.
+type TC struct {
+	P  *machine.Proc
+	RT *RT
+
+	thread *Thread
+	core   *core
+}
+
+// ID returns the node the thread is running on.
+func (tc *TC) ID() int { return tc.P.ID() }
+
+// Elapse charges compute cycles.
+func (tc *TC) Elapse(n uint64) { tc.P.Elapse(n) }
+
+// Fork creates a child task computing fn and makes it available for
+// execution (locally queued; remote processors may steal it). It returns
+// the future that fn's result resolves.
+func (tc *TC) Fork(fn func(*TC) uint64) *Future {
+	rt := tc.RT
+	f := rt.NewFuture(tc.ID())
+	t := rt.newTask(func(child *TC) {
+		f.Resolve(child, fn(child))
+	})
+	tc.P.Elapse(rt.P.ForkCycles)
+	tc.core.pushTask(tc.P, t)
+	return f
+}
+
+// Call runs fn inline (no task creation) — what the sequential elaboration
+// of a divide-and-conquer program does below the spawn cutoff.
+func (tc *TC) Call(fn func(*TC) uint64) uint64 { return fn(tc) }

@@ -1,0 +1,9 @@
+package machine
+
+import "math"
+
+// bits converts a float64 to its word representation for the store.
+func bits(v float64) uint64 { return math.Float64bits(v) }
+
+// f64 converts a stored word back to float64.
+func f64(w uint64) float64 { return math.Float64frombits(w) }

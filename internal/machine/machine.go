@@ -1,0 +1,168 @@
+// Package machine assembles the Alewife-like multiprocessor: a discrete-
+// event engine, a 2-D mesh, the distributed memory system with directory
+// coherence, and one CMMU network interface per node. It exposes Proc, the
+// processor API that simulated programs are written against — Figure 4 of
+// the paper: the processor reaches both the shared-memory hardware and the
+// network through one integrated interface.
+package machine
+
+import (
+	"fmt"
+
+	"alewife/internal/cmmu"
+	"alewife/internal/mem"
+	"alewife/internal/mesh"
+	"alewife/internal/sim"
+	"alewife/internal/stats"
+	"alewife/internal/trace"
+)
+
+// Topology selects the interconnect shape.
+type Topology int
+
+// Interconnect topologies.
+const (
+	TopoMesh  Topology = iota // 2-D mesh (Alewife)
+	TopoTorus                 // 2-D torus (wrap-around links)
+	TopoIdeal                 // contention-free constant latency (ablation)
+)
+
+// Config sizes and parameterizes a machine.
+type Config struct {
+	Nodes        int
+	WordsPerNode uint64 // per-node memory in 8-byte words
+	CacheSets    int
+	CacheWays    int
+	ClockMHz     float64 // for cycle<->µs conversion in reports (Alewife: 33)
+	Topology     Topology
+	IdealLatency uint64 // one-way latency when Topology == TopoIdeal
+	// SeqConsistent disables the run-ahead relaxation: every shared-memory
+	// access synchronizes with the global clock first, so cache state is
+	// observed in strict global order. Slower to simulate; used to
+	// validate that the default weak ordering does not change the results
+	// of properly synchronized programs.
+	SeqConsistent bool
+	Mem           mem.Params
+	Net           mesh.Params
+	CMMU          cmmu.Params
+}
+
+// DefaultConfig returns the calibrated Alewife-like machine with n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:        n,
+		WordsPerNode: 1 << 16, // 512 KB/node, plenty for the paper's workloads
+		CacheSets:    2048,    // 2048 sets x 2 ways x 16 B = 64 KB
+		CacheWays:    2,
+		ClockMHz:     33,
+		Mem:          mem.DefaultParams(),
+		Net:          mesh.DefaultParams(),
+		CMMU:         cmmu.DefaultParams(),
+	}
+}
+
+// Machine is a full simulated multiprocessor.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Net   mesh.Network
+	Store *mem.Store
+	Fab   *mem.Fabric
+	St    *stats.Machine
+	Nodes []*Node
+	Trace *trace.Buffer // nil unless EnableTrace was called
+}
+
+// EnableTrace attaches an event trace buffer keeping the most recent cap
+// events from the memory system, the network interfaces and the runtime.
+func (m *Machine) EnableTrace(cap int) *trace.Buffer {
+	m.Trace = trace.New(cap)
+	m.Fab.Trace = m.Trace
+	for _, n := range m.Nodes {
+		n.CMMU.Trace = m.Trace
+	}
+	return m.Trace
+}
+
+// Node is one processing node: processor state, cache controller, CMMU.
+type Node struct {
+	ID   int
+	M    *Machine
+	Ctrl *mem.Ctrl
+	CMMU *cmmu.CMMU
+
+	// stolen accumulates interrupt-handler and LimitLESS-trap cycles that
+	// the node's processor has not yet paid; the running Proc drains it.
+	stolen uint64
+}
+
+// StealCycles implements mem.ProcSink and cmmu.ProcSink.
+func (m *Machine) StealCycles(node int, cycles uint64) {
+	m.Nodes[node].stolen += cycles
+}
+
+// New builds a machine per cfg.
+func New(cfg Config) *Machine {
+	if cfg.Nodes < 1 {
+		panic("machine: need at least one node")
+	}
+	m := &Machine{Cfg: cfg, Eng: sim.NewEngine(), St: stats.NewMachine(cfg.Nodes)}
+	w, h := mesh.Dims(cfg.Nodes)
+	switch cfg.Topology {
+	case TopoTorus:
+		m.Net = mesh.NewTorus(m.Eng, w, h, cfg.Net, m.St)
+	case TopoIdeal:
+		lat := cfg.IdealLatency
+		if lat == 0 {
+			lat = 10
+		}
+		// Keep wire-rate serialization so bulk transfers still take time;
+		// only hops and contention vanish.
+		m.Net = &mesh.Ideal{Eng: m.Eng, N: cfg.Nodes, Latency: lat,
+			BytesPerCycle: cfg.Net.FlitBytes}
+	default:
+		m.Net = mesh.New(m.Eng, w, h, cfg.Net, m.St)
+	}
+	m.Store = mem.NewStore(cfg.Nodes, cfg.WordsPerNode)
+	m.Fab = mem.NewFabric(m.Eng, m.Net, m.Store, cfg.Mem, m.St, m,
+		cfg.CacheSets, cfg.CacheWays)
+	m.Nodes = make([]*Node, cfg.Nodes)
+	ifaces := make([]*cmmu.CMMU, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{ID: i, M: m, Ctrl: m.Fab.Ctrls[i]}
+		n.CMMU = cmmu.New(i, m.Eng, m.Net, m.Store, n.Ctrl, cfg.CMMU, m.St, m)
+		ifaces[i] = n.CMMU
+		m.Nodes[i] = n
+	}
+	for _, c := range ifaces {
+		c.SetPeers(ifaces)
+	}
+	return m
+}
+
+// Run drives the simulation until the event queue drains; it panics with a
+// context dump if contexts remain blocked (deadlock in the simulated
+// program or a protocol bug).
+func (m *Machine) Run() {
+	m.Eng.Run()
+	if m.Eng.Live() > 0 {
+		panic(fmt.Sprintf("machine: deadlock — %d contexts still blocked with no pending events: %v",
+			m.Eng.Live(), m.Eng.Stuck()))
+	}
+}
+
+// Cycles converts a cycle count to microseconds at the configured clock.
+func (m *Machine) Micros(cycles uint64) float64 {
+	return float64(cycles) / m.Cfg.ClockMHz
+}
+
+// Spawn starts body on node's processor at time `at` and returns its Proc.
+// The runtime system layers threads on top; tests and microbenchmarks use
+// Spawn directly.
+func (m *Machine) Spawn(node int, at sim.Time, name string, body func(*Proc)) *Proc {
+	p := &Proc{Node: m.Nodes[node]}
+	p.Ctx = m.Eng.Spawn(fmt.Sprintf("n%d:%s", node, name), at, func(ctx *sim.Context) {
+		body(p)
+	})
+	return p
+}

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"alewife/internal/cmmu"
+	"alewife/internal/mem"
+	"alewife/internal/sim"
+	"alewife/internal/stats"
+)
+
+// Proc is a processor execution facade bound to one node and one sim
+// context. Simulated programs call its methods; cycle costs accrue in a
+// run-ahead accumulator that is flushed to the global clock at every
+// coherence- or message-visible action, giving weak-ordering semantics (the
+// consistency model Alewife software is written for) at a fraction of the
+// event cost.
+//
+// Several Procs may exist for one node (the runtime's green threads), but
+// the runtime guarantees only one runs at a time.
+type Proc struct {
+	Node *Node
+	Ctx  *sim.Context
+
+	ahead uint64 // locally accumulated cycles not yet on the global clock
+}
+
+// mp returns the memory cost model.
+func (p *Proc) mp() *mem.Params { return &p.Node.M.Cfg.Mem }
+
+// Elapse charges n cycles of local computation.
+func (p *Proc) Elapse(n uint64) { p.ahead += n }
+
+// Now returns the processor's logical time (global clock + run-ahead).
+func (p *Proc) Now() sim.Time { return p.Ctx.Now() + p.ahead }
+
+// Flush synchronizes the processor with the global clock: run-ahead cycles
+// and any cycles stolen by interrupt handlers or directory traps are paid
+// before the next visible action.
+func (p *Proc) Flush() {
+	p.ahead += p.Node.stolen
+	p.Node.stolen = 0
+	if p.ahead == 0 {
+		return
+	}
+	d := p.ahead
+	p.ahead = 0
+	p.Node.M.St.Add(p.Node.ID, stats.ProcBusyCycles, int64(d))
+	p.Ctx.Sleep(d)
+}
+
+// sync enforces sequential consistency when configured: the access point
+// joins the global order before the cache is examined.
+func (p *Proc) sync() {
+	if p.Node.M.Cfg.SeqConsistent {
+		p.Flush()
+	}
+}
+
+// Read performs a shared-memory load.
+func (p *Proc) Read(a mem.Addr) uint64 {
+	p.sync()
+	if p.Node.Ctrl.FastRead(a) {
+		p.ahead += p.mp().CacheHit
+		return p.Node.M.Store.Read(a)
+	}
+	p.Flush()
+	p.Node.Ctrl.Read(p.Ctx, a)
+	p.ahead += p.mp().FillToUse + p.mp().CacheHit
+	return p.Node.M.Store.Read(a)
+}
+
+// Write performs a shared-memory store.
+func (p *Proc) Write(a mem.Addr, v uint64) {
+	p.sync()
+	if p.Node.Ctrl.FastWrite(a) {
+		p.ahead += p.mp().CacheHit
+		p.Node.M.Store.Write(a, v)
+		return
+	}
+	p.Flush()
+	p.Node.Ctrl.Write(p.Ctx, a)
+	p.ahead += p.mp().FillToUse + p.mp().CacheHit
+	p.Node.M.Store.Write(a, v)
+}
+
+// ReadF and WriteF are float64 views of Read/Write.
+func (p *Proc) ReadF(a mem.Addr) float64 { return f64(p.Read(a)) }
+
+// WriteF stores a float64.
+func (p *Proc) WriteF(a mem.Addr, v float64) { p.Write(a, bits(v)) }
+
+// Prefetch issues a non-binding prefetch (shared or exclusive) for the line
+// containing a; it costs one issue cycle and never blocks.
+func (p *Proc) Prefetch(a mem.Addr, excl bool) {
+	p.Flush()
+	p.ahead += 1
+	p.Node.Ctrl.Prefetch(a, excl)
+}
+
+// FetchAdd atomically adds delta to the word at a, returning the old value.
+// It models Sparcle's atomic sequences over an exclusively held line.
+func (p *Proc) FetchAdd(a mem.Addr, delta uint64) uint64 {
+	p.Flush()
+	p.Node.Ctrl.AcquireExclusive(p.Ctx, a)
+	old := p.Node.M.Store.Read(a)
+	p.Node.M.Store.Write(a, old+delta)
+	p.ahead += 2 * p.mp().CacheHit
+	return old
+}
+
+// CompareSwap atomically replaces old with new at a when it matches,
+// reporting success.
+func (p *Proc) CompareSwap(a mem.Addr, old, new uint64) bool {
+	p.Flush()
+	p.Node.Ctrl.AcquireExclusive(p.Ctx, a)
+	cur := p.Node.M.Store.Read(a)
+	p.ahead += 2 * p.mp().CacheHit
+	if cur != old {
+		return false
+	}
+	p.Node.M.Store.Write(a, new)
+	return true
+}
+
+// TestSet atomically sets the word at a to 1, returning the previous value
+// (0 means the caller won the lock).
+func (p *Proc) TestSet(a mem.Addr) uint64 {
+	p.Flush()
+	p.Node.Ctrl.AcquireExclusive(p.Ctx, a)
+	old := p.Node.M.Store.Read(a)
+	p.Node.M.Store.Write(a, 1)
+	p.ahead += 2 * p.mp().CacheHit
+	return old
+}
+
+// SendMessage describes and launches a message (a few user-level
+// instructions on Alewife); the processor is free as soon as the launch
+// retires — Tinvoker in the paper's Figure 6.
+func (p *Proc) SendMessage(d cmmu.Descriptor) {
+	p.Flush()
+	cost := p.Node.CMMU.SendCost(d)
+	p.Node.CMMU.Send(d, p.Ctx.Now()+cost)
+	p.ahead += cost
+}
+
+// MaskInterrupts defers message handlers on this node.
+func (p *Proc) MaskInterrupts() { p.Node.CMMU.MaskInterrupts() }
+
+// UnmaskInterrupts re-enables and drains deferred handlers; it flushes so
+// the drain happens at the processor's logical time.
+func (p *Proc) UnmaskInterrupts() {
+	p.Flush()
+	p.Node.CMMU.UnmaskInterrupts()
+}
+
+// Block parks the processor context (the runtime's idle/suspend path);
+// run-ahead is flushed first so wake-ups see a consistent clock.
+func (p *Proc) Block() {
+	p.Flush()
+	p.Ctx.Block()
+}
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.Node.M }
+
+// Store returns the global store (for value plumbing in workloads).
+func (p *Proc) Store() *mem.Store { return p.Node.M.Store }
+
+// ID returns the node id.
+func (p *Proc) ID() int { return p.Node.ID }

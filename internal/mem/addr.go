@@ -1,0 +1,31 @@
+// Package mem implements the memory system of an Alewife-like machine:
+// a word-addressed global store distributed across nodes, per-node caches,
+// and a directory-based cache-coherence protocol with LimitLESS limited
+// directories (a small number of hardware pointers, overflow handled by
+// software that steals cycles from the home processor).
+//
+// The package separates *data* from *timing*: one authoritative store holds
+// every word's value, while caches and directories carry only state used to
+// charge cycles and generate protocol traffic. This is exact for properly
+// synchronized programs (all workloads in the paper) and corresponds to one
+// legal interleaving for racy ones.
+package mem
+
+// Addr is a global word address. Words are 8 bytes (the "doubleword" unit
+// the paper's copy loops use). A cache line is LineWords consecutive words.
+type Addr uint64
+
+// WordBytes is the size of one addressable word.
+const WordBytes = 8
+
+// LineWords is the number of words per cache line (16-byte Alewife lines).
+const LineWords = 2
+
+// LineBytes is the cache line size in bytes.
+const LineBytes = LineWords * WordBytes
+
+// Line returns the line-aligned address containing a.
+func (a Addr) Line() Addr { return a &^ (LineWords - 1) }
+
+// Offset returns the word offset of a within its line.
+func (a Addr) Offset() int { return int(a & (LineWords - 1)) }

@@ -1,0 +1,745 @@
+package mem
+
+import (
+	"fmt"
+
+	"alewife/internal/mesh"
+	"alewife/internal/sim"
+	"alewife/internal/stats"
+	"alewife/internal/trace"
+)
+
+// ProcSink lets the memory system charge cycles to a node's processor for
+// work done in software on its behalf (LimitLESS directory traps). The
+// machine layer implements it; a nil sink discards the charge.
+type ProcSink interface {
+	StealCycles(node int, cycles uint64)
+}
+
+// Fabric owns the memory system of a whole machine: the store, one
+// controller per node, and the network they share.
+type Fabric struct {
+	Eng   *sim.Engine
+	Net   mesh.Network
+	Store *Store
+	P     Params
+	St    *stats.Machine
+	Sink  ProcSink
+	Ctrls []*Ctrl
+	// Trace, when non-nil, records protocol events.
+	Trace *trace.Buffer
+}
+
+// NewFabric wires up n controllers over the given network and store.
+// st and sink may be nil.
+func NewFabric(eng *sim.Engine, net mesh.Network, store *Store, p Params,
+	st *stats.Machine, sink ProcSink, cacheSets, cacheWays int) *Fabric {
+	f := &Fabric{Eng: eng, Net: net, Store: store, P: p, St: st, Sink: sink}
+	n := net.Nodes()
+	f.Ctrls = make([]*Ctrl, n)
+	for i := 0; i < n; i++ {
+		f.Ctrls[i] = &Ctrl{
+			f:          f,
+			node:       i,
+			cache:      NewCache(cacheSets, cacheWays),
+			dir:        make(map[Addr]*dirEntry),
+			txns:       make(map[Addr]*txn),
+			prefetched: make(map[Addr]bool),
+		}
+	}
+	return f
+}
+
+func (f *Fabric) steal(node int, cyc uint64) {
+	if f.Sink != nil && cyc > 0 {
+		f.Sink.StealCycles(node, cyc)
+	}
+	if f.St != nil && cyc > 0 {
+		f.St.Add(node, stats.DirSWTrapCycles, int64(cyc))
+	}
+}
+
+func (f *Fabric) count(node int, name string) {
+	if f.St != nil {
+		f.St.Inc(node, name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Directory state.
+
+type dirState uint8
+
+const (
+	dIdle dirState = iota
+	dShared
+	dExcl
+	dPendR   // recall in flight for a read request
+	dPendW   // recall in flight for a write request
+	dPendInv // invalidation acks being collected for a write request
+)
+
+type dreq struct {
+	write bool
+	from  int
+}
+
+type dirEntry struct {
+	state    dirState
+	sharers  []int
+	owner    int
+	overflow bool
+	// ovList is the software overflow pointer array in home memory,
+	// allocated on first overflow (LimitLESS empties the hardware pointers
+	// into a software structure and thereafter traps every request on the
+	// line to software).
+	ovList   Addr
+	pendFrom int
+	pendAcks int
+	deferred []dreq
+}
+
+func (e *dirEntry) hasSharer(n int) bool {
+	for _, s := range e.sharers {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *dirEntry) dropSharer(n int) {
+	for i, s := range e.sharers {
+		if s == n {
+			e.sharers = append(e.sharers[:i], e.sharers[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Requester-side transactions.
+
+type txn struct {
+	line     Addr
+	want     LState
+	gate     sim.Gate
+	prefetch bool
+}
+
+// Ctrl is one node's cache controller and directory controller combined
+// (they share the CMMU on Alewife). All handler methods run as engine
+// events; context methods (Read/Write/...) run on the caller's context.
+type Ctrl struct {
+	f    *Fabric
+	node int
+
+	cache *Cache
+
+	// Directory for lines whose home is this node.
+	dir       map[Addr]*dirEntry
+	dirFreeAt sim.Time // memory/directory occupancy
+
+	// Outstanding requests from this node.
+	txns     map[Addr]*txn
+	txnFreed *sim.Gate // re-armed gate fired whenever a txn retires
+
+	// prefetched marks lines whose current Shared copy came from a
+	// non-binding prefetch; a write to such a line pays the transaction-
+	// store retirement penalty (see Params.PrefetchWritePenalty).
+	prefetched map[Addr]bool
+}
+
+// Cache exposes the tag array for tests and DMA.
+func (c *Ctrl) Cache() *Cache { return c.cache }
+
+// LineState reports this node's cached state for a (tests, assertions).
+func (c *Ctrl) LineState(a Addr) LState { return c.cache.State(a) }
+
+// DirInfo reports directory state for a home line (tests).
+func (c *Ctrl) DirInfo(a Addr) (state string, sharers int, owner int, overflow bool) {
+	e := c.dir[a.Line()]
+	if e == nil {
+		return "idle", 0, -1, false
+	}
+	names := map[dirState]string{
+		dIdle: "idle", dShared: "shared", dExcl: "excl",
+		dPendR: "pendR", dPendW: "pendW", dPendInv: "pendInv",
+	}
+	return names[e.state], len(e.sharers), e.owner, e.overflow
+}
+
+func (c *Ctrl) home(a Addr) int { return c.f.Store.Home(a) }
+
+// ---------------------------------------------------------------------------
+// Fast (hit) paths. These charge nothing themselves; the processor layer
+// accounts hit cycles in its run-ahead accumulator.
+
+// FastRead reports whether a read of a hits in this node's cache and
+// touches LRU if so.
+func (c *Ctrl) FastRead(a Addr) bool {
+	if c.cache.State(a) != Invalid {
+		c.cache.Touch(a)
+		c.f.count(c.node, stats.CacheHits)
+		return true
+	}
+	return false
+}
+
+// FastWrite reports whether a write to a hits exclusively and touches LRU.
+func (c *Ctrl) FastWrite(a Addr) bool {
+	if c.cache.State(a) == Exclusive {
+		c.cache.Touch(a)
+		c.f.count(c.node, stats.CacheHits)
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Slow (miss) paths, called on a processor context already synchronized
+// with engine time.
+
+// Read stalls ctx until the line containing a is readable in this node's
+// cache. The caller loads the value from the store afterwards.
+func (c *Ctrl) Read(ctx *sim.Context, a Addr) {
+	for {
+		if c.cache.State(a) != Invalid {
+			c.cache.Touch(a)
+			return
+		}
+		c.f.count(c.node, stats.CacheMisses)
+		c.miss(ctx, a, Shared)
+	}
+}
+
+// Write stalls ctx until this node holds the line exclusively; the caller
+// then stores through to the Store. The exclusivity can in principle be
+// lost again in the same cycle; plain stores don't care (their value is
+// carried by the protocol), atomic sequences use AcquireExclusive.
+func (c *Ctrl) Write(ctx *sim.Context, a Addr) {
+	for {
+		if c.cache.State(a) == Exclusive {
+			c.cache.Touch(a)
+			return
+		}
+		if c.cache.State(a) == Shared {
+			c.f.count(c.node, stats.CacheUpgrades)
+			if c.prefetched[a.Line()] {
+				// The copy sits in the transaction store: retire it and
+				// re-issue the write (Alewife prefetch-then-write artifact).
+				delete(c.prefetched, a.Line())
+				ctx.Sleep(c.f.P.PrefetchWritePenalty)
+				continue
+			}
+		} else {
+			c.f.count(c.node, stats.CacheMisses)
+		}
+		c.miss(ctx, a, Exclusive)
+	}
+}
+
+// AcquireExclusive stalls ctx until a write to a hits exclusively *right
+// now*, so the caller can perform a read-modify-write without any
+// intervening coherence action (the engine runs no events between the
+// return and the caller's next yield).
+func (c *Ctrl) AcquireExclusive(ctx *sim.Context, a Addr) {
+	for c.cache.State(a) != Exclusive {
+		c.Write(ctx, a)
+	}
+	c.cache.Touch(a)
+}
+
+// miss joins or starts a transaction for the line and blocks until it
+// completes. The caller re-checks the cache state afterwards.
+func (c *Ctrl) miss(ctx *sim.Context, a Addr, want LState) {
+	line := a.Line()
+	if t, ok := c.txns[line]; ok {
+		// Outstanding fill; join it. An upgrade wanted while a shared fill
+		// is in flight waits for the fill and retries.
+		if t.prefetch {
+			t.prefetch = false
+			c.f.count(c.node, stats.PrefetchUseful)
+		}
+		t.gate.Wait(ctx)
+		return
+	}
+	for len(c.txns) >= c.f.P.TxnLimit {
+		// Transaction buffer full: stall until something retires.
+		if c.txnFreed == nil {
+			c.txnFreed = &sim.Gate{}
+		}
+		c.txnFreed.Wait(ctx)
+	}
+	t := c.start(line, want, false)
+	t.gate.Wait(ctx)
+}
+
+// StartMiss begins or joins a fill for the line containing a, returning a
+// gate that fires when the caller should re-examine the cache, without
+// blocking. Latency-tolerant processors (Sparcle's block multithreading)
+// use it to switch to another hardware context instead of stalling; the
+// caller must loop until the desired state holds, exactly like the
+// blocking paths. A nil gate means the access already hits.
+func (c *Ctrl) StartMiss(a Addr, want LState) *sim.Gate {
+	st := c.cache.State(a)
+	if st == Exclusive || (st == Shared && want == Shared) {
+		c.cache.Touch(a)
+		return nil
+	}
+	if st == Shared && want == Exclusive && c.prefetched[a.Line()] {
+		// The transaction-store artifact still applies; the caller pays it
+		// through an extra round of the retry loop with this timed gate.
+		delete(c.prefetched, a.Line())
+		g := &sim.Gate{}
+		c.f.Eng.After(c.f.P.PrefetchWritePenalty, g.Fire)
+		return g
+	}
+	if st == Shared && want == Exclusive {
+		c.f.count(c.node, stats.CacheUpgrades)
+	} else {
+		c.f.count(c.node, stats.CacheMisses)
+	}
+	line := a.Line()
+	if t, ok := c.txns[line]; ok {
+		if t.prefetch {
+			t.prefetch = false
+			c.f.count(c.node, stats.PrefetchUseful)
+		}
+		return &t.gate
+	}
+	if len(c.txns) >= c.f.P.TxnLimit {
+		if c.txnFreed == nil {
+			c.txnFreed = &sim.Gate{}
+		}
+		return c.txnFreed
+	}
+	return &c.start(line, want, false).gate
+}
+
+// Prefetch issues a non-binding prefetch for the line containing a; excl
+// requests an exclusive (write) prefetch. It never blocks; when the
+// transaction buffer is full the prefetch is dropped, as on Alewife.
+func (c *Ctrl) Prefetch(a Addr, excl bool) {
+	line := a.Line()
+	want := Shared
+	if excl {
+		want = Exclusive
+	}
+	st := c.cache.State(a)
+	if st == Exclusive || (st == Shared && !excl) {
+		return // already satisfied
+	}
+	if _, ok := c.txns[line]; ok {
+		return // already in flight
+	}
+	if len(c.txns) >= c.f.P.TxnLimit {
+		return // buffer full: drop
+	}
+	c.f.count(c.node, stats.Prefetches)
+	c.start(line, want, true)
+}
+
+// start creates the transaction and fires the request at the home.
+func (c *Ctrl) start(line Addr, want LState, prefetch bool) *txn {
+	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KMiss, uint64(line))
+	t := &txn{line: line, want: want, prefetch: prefetch}
+	c.txns[line] = t
+	h := c.home(line)
+	write := want == Exclusive
+	eng := c.f.Eng
+	if h == c.node {
+		// Local miss: no network; straight into the directory pipeline
+		// after the requester-side issue cost.
+		eng.After(c.f.P.LocalMiss, func() { c.reqArrive(line, c.node, write) })
+	} else {
+		c.f.count(c.node, stats.ProtoMsgs)
+		c.f.Net.Send(c.node, h, c.f.P.ReqBytes, eng.Now()+c.f.P.LocalMiss,
+			func() { c.f.Ctrls[h].reqArrive(line, c.node, write) })
+	}
+	return t
+}
+
+// grantArrive completes a transaction at the requester.
+func (c *Ctrl) grantArrive(line Addr, granted LState) {
+	t, ok := c.txns[line]
+	if !ok {
+		panic(fmt.Sprintf("mem: node %d grant for line %#x with no transaction", c.node, uint64(line)))
+	}
+	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KFill, uint64(line))
+	victim, vstate := c.cache.Insert(line, granted)
+	if vstate == Exclusive {
+		c.writeback(victim)
+	} else if vstate == Shared {
+		c.f.count(c.node, stats.CacheEvictions)
+	}
+	if vstate != Invalid {
+		delete(c.prefetched, victim)
+	}
+	if t.prefetch && granted == Shared {
+		c.prefetched[line] = true
+	} else {
+		delete(c.prefetched, line)
+	}
+	delete(c.txns, line)
+	t.gate.Fire()
+	if c.txnFreed != nil {
+		g := c.txnFreed
+		c.txnFreed = nil
+		g.Fire()
+	}
+}
+
+// writeback sends a dirty victim home.
+func (c *Ctrl) writeback(line Addr) {
+	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KWriteback, uint64(line))
+	c.f.count(c.node, stats.CacheWritebacks)
+	h := c.home(line)
+	if h == c.node {
+		c.f.Ctrls[h].wbArrive(line, c.node)
+		return
+	}
+	c.f.count(c.node, stats.ProtoMsgs)
+	c.f.Net.Send(c.node, h, c.f.P.DataBytes, c.f.Eng.Now(),
+		func() { c.f.Ctrls[h].wbArrive(line, c.node) })
+}
+
+// ---------------------------------------------------------------------------
+// Home-side directory machine. Every entry mutation happens inside an
+// engine event at the home node, serialized by dirFreeAt occupancy.
+
+func (c *Ctrl) entry(line Addr) *dirEntry {
+	e := c.dir[line]
+	if e == nil {
+		e = &dirEntry{state: dIdle, owner: -1}
+		c.dir[line] = e
+	}
+	return e
+}
+
+// occupy reserves the directory/memory pipeline for `busy` cycles starting
+// no earlier than now, and runs fn at the start of the slot; fn's outbound
+// actions should be stamped at slot start + busy.
+func (c *Ctrl) occupy(busy uint64, fn func(done sim.Time)) {
+	eng := c.f.Eng
+	t := eng.Now()
+	if c.dirFreeAt > t {
+		t = c.dirFreeAt
+	}
+	c.dirFreeAt = t + busy
+	eng.At(t, func() { fn(t + busy) })
+}
+
+// reqArrive handles an RREQ/WREQ at the home.
+func (c *Ctrl) reqArrive(line Addr, from int, write bool) {
+	e := c.entry(line)
+	if e.overflow {
+		// LimitLESS: an overflowed entry is handled entirely in software —
+		// every request on it traps the home processor.
+		c.f.steal(c.node, c.f.P.TrapCycles)
+		c.dirFreeAt += c.f.P.TrapCycles
+	}
+	switch e.state {
+	case dPendR, dPendW, dPendInv:
+		e.deferred = append(e.deferred, dreq{write: write, from: from})
+		return
+	case dExcl:
+		if e.owner == from {
+			// The owner's writeback must be in flight; serve after it lands.
+			e.deferred = append(e.deferred, dreq{write: write, from: from})
+			return
+		}
+	}
+	if write {
+		c.serveWrite(line, e, from)
+	} else {
+		c.serveRead(line, e, from)
+	}
+}
+
+func (c *Ctrl) serveRead(line Addr, e *dirEntry, from int) {
+	switch e.state {
+	case dIdle:
+		sw := c.addSharer(e, from)
+		e.state = dShared
+		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles+sw, func(done sim.Time) {
+			c.sendGrant(line, from, Shared, true, done)
+		})
+	case dShared:
+		sw := c.addSharer(e, from)
+		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles+sw, func(done sim.Time) {
+			c.sendGrant(line, from, Shared, true, done)
+		})
+	case dExcl:
+		owner := e.owner
+		e.state = dPendR
+		e.pendFrom = from
+		c.occupy(c.f.P.DirCycles, func(done sim.Time) {
+			c.sendCtl(owner, done, func() { c.f.Ctrls[owner].recallArrive(line, false) })
+		})
+	default:
+		panic("mem: serveRead on transient entry")
+	}
+}
+
+func (c *Ctrl) serveWrite(line Addr, e *dirEntry, from int) {
+	switch e.state {
+	case dIdle:
+		e.state = dExcl
+		e.owner = from
+		e.sharers = nil
+		e.overflow = false
+		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles, func(done sim.Time) {
+			c.sendGrant(line, from, Exclusive, true, done)
+		})
+	case dShared:
+		// Invalidate every sharer except the writer; grant when acked.
+		targets := make([]int, 0, len(e.sharers))
+		for _, s := range e.sharers {
+			if s != from {
+				targets = append(targets, s)
+			}
+		}
+		if len(targets) == 0 {
+			// Lone sharer upgrading: grant without data.
+			e.state = dExcl
+			e.owner = from
+			e.sharers = nil
+			e.overflow = false
+			c.occupy(c.f.P.DirCycles, func(done sim.Time) {
+				c.sendGrant(line, from, Exclusive, false, done)
+			})
+			return
+		}
+		sw := uint64(0)
+		if e.overflow {
+			// Software walks the overflowed sharer list.
+			sw = uint64(len(targets)) * c.f.P.SWInvalCycles
+			c.f.steal(c.node, sw)
+		}
+		hadLine := e.hasSharer(from)
+		e.state = dPendInv
+		e.pendFrom = from
+		e.pendAcks = len(targets)
+		// Remember whether the grant needs data once acks are in.
+		e.owner = -1
+		if hadLine {
+			e.owner = from // sentinel: upgrade, no data needed
+		}
+		c.f.count(c.node, stats.ProtoInvals)
+		c.occupy(c.f.P.DirCycles+sw, func(done sim.Time) {
+			for _, tgt := range targets {
+				tgt := tgt
+				c.sendCtl(tgt, done, func() { c.f.Ctrls[tgt].invArrive(line) })
+			}
+		})
+	case dExcl:
+		owner := e.owner
+		e.state = dPendW
+		e.pendFrom = from
+		c.occupy(c.f.P.DirCycles, func(done sim.Time) {
+			c.sendCtl(owner, done, func() { c.f.Ctrls[owner].recallArrive(line, true) })
+		})
+	default:
+		panic("mem: serveWrite on transient entry")
+	}
+}
+
+// addSharer records a reader, returning extra software cycles if the entry
+// overflows its hardware pointers (LimitLESS). On first overflow the
+// hardware pointers are emptied into a software array in home memory;
+// afterwards every pointer insert is a software write.
+func (c *Ctrl) addSharer(e *dirEntry, n int) (sw uint64) {
+	if e.hasSharer(n) {
+		return 0
+	}
+	e.sharers = append(e.sharers, n)
+	if len(e.sharers) <= c.f.P.HWPointers {
+		return 0
+	}
+	if !e.overflow {
+		e.overflow = true
+		c.f.count(c.node, stats.DirOverflows)
+		if e.ovList == 0 {
+			e.ovList = c.f.Store.AllocOn(c.node, uint64(c.f.Net.Nodes()))
+		}
+		// The trap empties the hardware pointers into the software array.
+		for i, s := range e.sharers {
+			c.f.Store.Write(e.ovList+Addr(i), uint64(s))
+		}
+		sw = c.f.P.TrapCycles + uint64(len(e.sharers))*c.f.P.SWInvalCycles
+		c.f.steal(c.node, sw)
+		return sw
+	}
+	// Already in software: one pointer write per insert.
+	c.f.Store.Write(e.ovList+Addr(len(e.sharers)-1), uint64(n))
+	sw = c.f.P.TrapCycles
+	c.f.steal(c.node, sw)
+	return sw
+}
+
+// sendGrant delivers a fill/upgrade grant to the requester at time `at`.
+func (c *Ctrl) sendGrant(line Addr, to int, st LState, withData bool, at sim.Time) {
+	bytes := c.f.P.CtlBytes
+	if withData {
+		bytes = c.f.P.DataBytes
+	}
+	if to == c.node {
+		c.f.Eng.At(at, func() { c.grantArrive(line, st) })
+		return
+	}
+	c.f.count(c.node, stats.ProtoMsgs)
+	c.f.Net.Send(c.node, to, bytes, at, func() { c.f.Ctrls[to].grantArrive(line, st) })
+}
+
+// sendCtl delivers a small protocol message (INV/RECALL) at time `at`.
+func (c *Ctrl) sendCtl(to int, at sim.Time, fn func()) {
+	if to == c.node {
+		c.f.Eng.At(at, fn)
+		return
+	}
+	c.f.count(c.node, stats.ProtoMsgs)
+	c.f.Net.Send(c.node, to, c.f.P.CtlBytes, at, fn)
+}
+
+// invArrive handles an invalidation at a sharer. Acks go back to the home
+// even when the line was silently evicted (the directory pointer was stale).
+func (c *Ctrl) invArrive(line Addr) {
+	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KInval, uint64(line))
+	c.cache.SetState(line, Invalid)
+	delete(c.prefetched, line)
+	h := c.home(line)
+	if h == c.node {
+		c.f.Ctrls[h].invAckArrive(line, c.node)
+		return
+	}
+	c.f.count(c.node, stats.ProtoMsgs)
+	c.f.Net.Send(c.node, h, c.f.P.CtlBytes, c.f.Eng.Now(),
+		func() { c.f.Ctrls[h].invAckArrive(line, c.node) })
+}
+
+// invAckArrive counts acks at the home; the last one triggers the grant.
+func (c *Ctrl) invAckArrive(line Addr, from int) {
+	e := c.entry(line)
+	if e.state != dPendInv {
+		panic(fmt.Sprintf("mem: stray invack for %#x in state %d", uint64(line), e.state))
+	}
+	e.dropSharer(from)
+	e.pendAcks--
+	if e.pendAcks > 0 {
+		return
+	}
+	to := e.pendFrom
+	withData := e.owner != to // owner sentinel: == to means pure upgrade
+	e.state = dExcl
+	e.owner = to
+	e.sharers = nil
+	e.overflow = false
+	busy := c.f.P.DirCycles
+	if withData {
+		busy += c.f.P.MemCycles
+	}
+	c.occupy(busy, func(done sim.Time) {
+		c.sendGrant(line, to, Exclusive, withData, done)
+	})
+	c.settle(line)
+}
+
+// recallArrive handles a recall at the (supposed) owner. forWrite recalls
+// invalidate; read recalls downgrade to Shared. If the line is gone the
+// owner's writeback is already in flight and will resolve the home's
+// pending state, so nothing is sent.
+func (c *Ctrl) recallArrive(line Addr, forWrite bool) {
+	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KRecall, uint64(line))
+	st := c.cache.State(line)
+	if st == Invalid {
+		return // WB raced ahead of the recall
+	}
+	if forWrite {
+		c.cache.SetState(line, Invalid)
+	} else {
+		c.cache.SetState(line, Shared)
+	}
+	h := c.home(line)
+	if h == c.node {
+		c.f.Ctrls[h].recallDataArrive(line, c.node)
+		return
+	}
+	c.f.count(c.node, stats.ProtoMsgs)
+	c.f.Net.Send(c.node, h, c.f.P.DataBytes, c.f.Eng.Now(),
+		func() { c.f.Ctrls[h].recallDataArrive(line, c.node) })
+}
+
+// recallDataArrive lands recalled data at the home and completes the
+// pending request.
+func (c *Ctrl) recallDataArrive(line Addr, from int) {
+	e := c.entry(line)
+	switch e.state {
+	case dPendR:
+		to := e.pendFrom
+		e.state = dShared
+		e.sharers = e.sharers[:0]
+		e.overflow = false
+		e.sharers = append(e.sharers, from)
+		sw := c.addSharer(e, to)
+		e.owner = -1
+		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles+sw, func(done sim.Time) {
+			c.sendGrant(line, to, Shared, true, done)
+		})
+	case dPendW:
+		to := e.pendFrom
+		e.state = dExcl
+		e.owner = to
+		e.sharers = nil
+		e.overflow = false
+		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles, func(done sim.Time) {
+			c.sendGrant(line, to, Exclusive, true, done)
+		})
+	default:
+		panic(fmt.Sprintf("mem: recall data for %#x in state %d", uint64(line), e.state))
+	}
+	c.settle(line)
+}
+
+// wbArrive handles an eviction writeback (or a writeback racing a recall).
+func (c *Ctrl) wbArrive(line Addr, from int) {
+	e := c.entry(line)
+	switch e.state {
+	case dExcl:
+		if e.owner != from {
+			panic(fmt.Sprintf("mem: WB for %#x from %d but owner %d", uint64(line), from, e.owner))
+		}
+		e.state = dIdle
+		e.owner = -1
+		c.occupy(c.f.P.MemCycles, func(sim.Time) {})
+		c.settle(line)
+	case dPendR, dPendW:
+		// The recall will find nothing at the old owner; this WB carries
+		// the data instead.
+		c.recallDataArrive(line, from)
+	default:
+		panic(fmt.Sprintf("mem: WB for %#x in state %d", uint64(line), e.state))
+	}
+}
+
+// settle re-dispatches one deferred request if the entry is stable again.
+func (c *Ctrl) settle(line Addr) {
+	e := c.entry(line)
+	for len(e.deferred) > 0 {
+		switch e.state {
+		case dPendR, dPendW, dPendInv:
+			return
+		}
+		d := e.deferred[0]
+		if e.state == dExcl && e.owner == d.from {
+			// Still waiting for that node's writeback.
+			return
+		}
+		e.deferred = e.deferred[1:]
+		if d.write {
+			c.serveWrite(line, e, d.from)
+		} else {
+			c.serveRead(line, e, d.from)
+		}
+	}
+}

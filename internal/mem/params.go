@@ -1,0 +1,54 @@
+package mem
+
+// Params is the memory-system cost model, in processor cycles. Defaults are
+// calibrated so that the latencies the Alewife papers report (roughly
+// 10-cycle local miss, ~40-cycle clean remote miss at small machine sizes,
+// 5-cycle message-handler entry elsewhere) come out of the composed model.
+type Params struct {
+	CacheHit  uint64 // charge per hit access (load or store)
+	DirCycles uint64 // directory lookup/update occupancy at the home
+	MemCycles uint64 // DRAM access at the home (read for grant, write for WB)
+	LocalMiss uint64 // extra requester-side cycles to start/finish any miss
+	FillToUse uint64 // cycles from fill completion to the stalled access retiring
+
+	// LimitLESS directory.
+	HWPointers    int    // hardware sharer pointers before software overflow
+	TrapCycles    uint64 // software trap cost at the home on overflow insert
+	SWInvalCycles uint64 // per-sharer software cost invalidating an overflowed entry
+
+	// Requester transaction buffer (outstanding misses + prefetches).
+	TxnLimit int
+
+	// PrefetchWritePenalty models Alewife's transaction-store artifact: a
+	// store to a line most recently filled by a non-binding *shared*
+	// prefetch forces the buffered transaction to retire and the write to
+	// re-issue, costing roughly a round trip on top of the upgrade. This is
+	// what makes the paper's prefetching copy loop slower than the plain
+	// one (Figure 7) while leaving read-only prefetching (accum, Figure 8)
+	// profitable.
+	PrefetchWritePenalty uint64
+
+	// Protocol packet sizes in bytes (header included).
+	ReqBytes  int // RREQ/WREQ
+	CtlBytes  int // INV/ACK/RECALL and data-less grants
+	DataBytes int // grants carrying a line, WB, recall data
+}
+
+// DefaultParams returns the calibrated cost model.
+func DefaultParams() Params {
+	return Params{
+		CacheHit:             1,
+		DirCycles:            3,
+		MemCycles:            6,
+		LocalMiss:            3,
+		FillToUse:            1,
+		HWPointers:           5,
+		TrapCycles:           50,
+		SWInvalCycles:        8,
+		TxnLimit:             4,
+		PrefetchWritePenalty: 64,
+		ReqBytes:             8,
+		CtlBytes:             8,
+		DataBytes:            8 + LineBytes,
+	}
+}

@@ -1,0 +1,82 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Store is the authoritative global memory, distributed across nodes:
+// node i owns word addresses [i*WordsPerNode, (i+1)*WordsPerNode). The home
+// of an address is fixed by that partition, as in Alewife (physical memory
+// distributed among the processing nodes).
+type Store struct {
+	nodes    int
+	wordsPer uint64
+	data     []uint64
+	brk      []uint64 // per-node bump allocator offset
+}
+
+// NewStore builds a store for n nodes with wordsPerNode words each.
+func NewStore(n int, wordsPerNode uint64) *Store {
+	return &Store{
+		nodes:    n,
+		wordsPer: wordsPerNode,
+		data:     make([]uint64, uint64(n)*wordsPerNode),
+		brk:      make([]uint64, n),
+	}
+}
+
+// Nodes returns the number of memory modules.
+func (s *Store) Nodes() int { return s.nodes }
+
+// WordsPerNode returns each node's memory size in words.
+func (s *Store) WordsPerNode() uint64 { return s.wordsPer }
+
+// Home returns the node whose memory holds a.
+func (s *Store) Home(a Addr) int {
+	h := int(uint64(a) / s.wordsPer)
+	if h < 0 || h >= s.nodes {
+		panic(fmt.Sprintf("mem: address %#x outside store", uint64(a)))
+	}
+	return h
+}
+
+// Read returns the word at a.
+func (s *Store) Read(a Addr) uint64 { return s.data[a] }
+
+// Write sets the word at a.
+func (s *Store) Write(a Addr, v uint64) { s.data[a] = v }
+
+// ReadF returns the word at a interpreted as a float64.
+func (s *Store) ReadF(a Addr) float64 { return math.Float64frombits(s.data[a]) }
+
+// WriteF stores a float64 at a.
+func (s *Store) WriteF(a Addr, v float64) { s.data[a] = math.Float64bits(v) }
+
+// AllocOn carves n words out of node's memory, line-aligned, and returns the
+// base address. It panics when the node's memory is exhausted: simulated
+// workloads size their data up front.
+func (s *Store) AllocOn(node int, n uint64) Addr {
+	if node < 0 || node >= s.nodes {
+		panic(fmt.Sprintf("mem: AllocOn bad node %d", node))
+	}
+	// Line-align the allocation so distinct objects never share a line
+	// (false sharing is introduced deliberately by tests, not by accident).
+	b := (s.brk[node] + LineWords - 1) &^ (LineWords - 1)
+	if b+n > s.wordsPer {
+		panic(fmt.Sprintf("mem: node %d out of memory (%d + %d > %d words)",
+			node, b, n, s.wordsPer))
+	}
+	s.brk[node] = b + n
+	return Addr(uint64(node)*s.wordsPer + b)
+}
+
+// AllocStriped allocates n words on each of the given nodes and returns the
+// per-node base addresses; convenient for block-distributed arrays.
+func (s *Store) AllocStriped(nodes []int, n uint64) []Addr {
+	out := make([]Addr, len(nodes))
+	for i, nd := range nodes {
+		out[i] = s.AllocOn(nd, n)
+	}
+	return out
+}

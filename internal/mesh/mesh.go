@@ -1,0 +1,346 @@
+// Package mesh models Alewife's 2-D mesh interconnect: dimension-ordered
+// (X then Y) routing, a per-hop router delay, and per-link serialization so
+// that concurrent packets crossing the same channel contend realistically.
+//
+// The model is a wormhole pipeline approximation. A packet of F flits whose
+// head leaves the source at time t experiences, per hop, a router delay and
+// a reservation of the outgoing link for F flit-times starting no earlier
+// than the link's previous release. Delivery occurs when the tail arrives:
+//
+//	head_{i+1} = max(head_i + RouterDelay, link_i.freeAt)
+//	link_i.freeAt = head_{i+1} + F*FlitCycles
+//	deliver = head_last + F*FlitCycles
+//
+// This captures head latency, serialization, and link contention while
+// staying cheap enough to simulate millions of packets.
+package mesh
+
+import (
+	"fmt"
+
+	"alewife/internal/sim"
+	"alewife/internal/stats"
+)
+
+// Params fixes the network cost model. Defaults approximate Alewife's mesh:
+// 16-bit channels clocked with the processor, roughly one cycle per hop of
+// routing delay.
+type Params struct {
+	RouterDelay uint64 // cycles for a head flit to cross one router
+	FlitBytes   int    // channel width: bytes moved per flit-time
+	FlitCycles  uint64 // cycles per flit per link
+	InjectDelay uint64 // source overhead to start driving the network
+	EjectDelay  uint64 // destination overhead before delivery fires
+
+	// MaxJitter > 0 injects a deterministic pseudo-random extra delay of
+	// [0, MaxJitter) cycles per packet (timing-fault injection). Per-pair
+	// FIFO delivery is still enforced, as the coherence protocol requires;
+	// only timing shifts. Results of properly synchronized programs must
+	// be unaffected — tests rely on that.
+	MaxJitter  uint64
+	JitterSeed uint64
+}
+
+// DefaultParams returns the calibrated Alewife-like cost model.
+func DefaultParams() Params {
+	return Params{
+		RouterDelay: 1,
+		FlitBytes:   2,
+		FlitCycles:  1,
+		InjectDelay: 2,
+		EjectDelay:  2,
+	}
+}
+
+// Network is the interface the rest of the simulator speaks. Mesh is the
+// production implementation; Ideal exists for ablations.
+type Network interface {
+	// Send schedules delivery of a packet of `bytes` payload+header bytes
+	// from node src to node dst, departing no earlier than `at`. deliver is
+	// invoked as an engine event at the arrival time. Self-sends are legal
+	// and take a small loopback cost.
+	Send(src, dst int, bytes int, at sim.Time, deliver func())
+	// Nodes returns the number of endpoints.
+	Nodes() int
+	// Dist returns the hop distance between two nodes.
+	Dist(src, dst int) int
+}
+
+type link struct {
+	freeAt sim.Time
+}
+
+// Mesh is a W×H 2-D mesh with XY routing; with wrap-around links it is a
+// torus (each dimension routes the shorter way around).
+type Mesh struct {
+	eng  *Engine
+	w, h int
+	p    Params
+	wrap bool
+	// links[dir][node] is the outgoing link from node in direction dir.
+	links [4][]link
+	st    *stats.Machine
+
+	// Jitter state: packet counter and per-pair monotone injection floor.
+	pkts       uint64
+	lastInject map[[2]int]sim.Time
+	// lastDeliver enforces point-to-point FIFO delivery for every pair;
+	// the routed path is naturally FIFO (monotone link reservations), but
+	// loopback packets of different sizes could otherwise overtake.
+	lastDeliver map[[2]int]sim.Time
+}
+
+// Engine is the subset of *sim.Engine the mesh needs; aliased for clarity.
+type Engine = sim.Engine
+
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// New builds a W×H mesh over the engine. W*H is the node count; node i sits
+// at (i mod W, i div W). st may be nil.
+func New(eng *Engine, w, h int, p Params, st *stats.Machine) *Mesh {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", w, h))
+	}
+	m := &Mesh{eng: eng, w: w, h: h, p: p, st: st}
+	for d := range m.links {
+		m.links[d] = make([]link, w*h)
+	}
+	return m
+}
+
+// NewTorus builds a W×H torus: the mesh plus wrap-around links, each
+// dimension routed the shorter way. A 1×N or N×1 torus is a ring.
+func NewTorus(eng *Engine, w, h int, p Params, st *stats.Machine) *Mesh {
+	m := New(eng, w, h, p, st)
+	m.wrap = true
+	return m
+}
+
+// Dims returns a near-square factorization of n for building a mesh that
+// holds n nodes (w >= h, w*h >= n).
+func Dims(n int) (w, h int) {
+	if n < 1 {
+		return 1, 1
+	}
+	h = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			h = d
+		}
+	}
+	w = n / h
+	if w*h < n { // non-factorable fallback (n prime handled by n = w*h exactly)
+		w = n
+		h = 1
+	}
+	return w, h
+}
+
+// Nodes returns the endpoint count.
+func (m *Mesh) Nodes() int { return m.w * m.h }
+
+func (m *Mesh) coord(n int) (x, y int) { return n % m.w, n / m.w }
+
+// Dist returns the Manhattan distance between two nodes (shorter-way-
+// around per dimension on a torus).
+func (m *Mesh) Dist(src, dst int) int {
+	sx, sy := m.coord(src)
+	dx, dy := m.coord(dst)
+	ddx, ddy := abs(sx-dx), abs(sy-dy)
+	if m.wrap {
+		if alt := m.w - ddx; alt < ddx {
+			ddx = alt
+		}
+		if alt := m.h - ddy; alt < ddy {
+			ddy = alt
+		}
+	}
+	return ddx + ddy
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// flits returns the number of flit-times a packet of the given size occupies
+// on each link (at least one).
+func (m *Mesh) flits(bytes int) uint64 {
+	f := uint64((bytes + m.p.FlitBytes - 1) / m.p.FlitBytes)
+	if f == 0 {
+		f = 1
+	}
+	return f
+}
+
+// Send implements Network. Routing is X-first then Y, matching Alewife.
+func (m *Mesh) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: send %d->%d outside 0..%d", src, dst, m.Nodes()-1))
+	}
+	if at < m.eng.Now() {
+		at = m.eng.Now()
+	}
+	f := m.flits(bytes)
+	if m.st != nil {
+		m.st.Inc(src, stats.NetPackets)
+		m.st.Add(src, stats.NetFlits, int64(f))
+	}
+	if m.p.MaxJitter > 0 {
+		m.pkts++
+		h := (m.pkts*0x9e3779b97f4a7c15 + m.p.JitterSeed*0xbf58476d1ce4e5b9) ^ uint64(src*73+dst)
+		at += (h >> 33) % m.p.MaxJitter
+		// Keep per-pair injection monotone so jitter cannot reorder
+		// packets between the same endpoints.
+		if m.lastInject == nil {
+			m.lastInject = make(map[[2]int]sim.Time)
+		}
+		key := [2]int{src, dst}
+		if prev := m.lastInject[key]; at <= prev {
+			at = prev + 1
+		}
+		m.lastInject[key] = at
+	}
+	if src == dst {
+		// Loopback through the network interface without touching links.
+		t := m.fifo(src, dst, at+m.p.InjectDelay+m.p.EjectDelay+f*m.p.FlitCycles)
+		m.account(src, t-at)
+		m.eng.At(t, deliver)
+		return
+	}
+	head := at + m.p.InjectDelay
+	x, y := m.coord(src)
+	dx, dy := m.coord(dst)
+	step := func(dir int, node int) {
+		l := &m.links[dir][node]
+		if l.freeAt > head {
+			head = l.freeAt
+		}
+		head += m.p.RouterDelay
+		l.freeAt = head + f*m.p.FlitCycles
+	}
+	// X dimension, then Y; on a torus each goes the shorter way around.
+	steps, forward := m.plan(x, dx, m.w)
+	for i := 0; i < steps; i++ {
+		node := y*m.w + x
+		if forward {
+			step(dirEast, node)
+			x = (x + 1) % m.w
+		} else {
+			step(dirWest, node)
+			x = (x - 1 + m.w) % m.w
+		}
+	}
+	steps, forward = m.plan(y, dy, m.h)
+	for i := 0; i < steps; i++ {
+		node := y*m.w + x
+		if forward {
+			step(dirSouth, node)
+			y = (y + 1) % m.h
+		} else {
+			step(dirNorth, node)
+			y = (y - 1 + m.h) % m.h
+		}
+	}
+	t := m.fifo(src, dst, head+f*m.p.FlitCycles+m.p.EjectDelay)
+	m.account(src, t-at)
+	m.eng.At(t, deliver)
+}
+
+// fifo clamps a delivery time so packets between the same endpoints arrive
+// strictly in send order.
+func (m *Mesh) fifo(src, dst int, t sim.Time) sim.Time {
+	if m.lastDeliver == nil {
+		m.lastDeliver = make(map[[2]int]sim.Time)
+	}
+	key := [2]int{src, dst}
+	if prev := m.lastDeliver[key]; t <= prev {
+		t = prev + 1
+	}
+	m.lastDeliver[key] = t
+	return t
+}
+
+// plan returns the hop count and direction (forward = increasing
+// coordinate) for one dimension from c to d of extent n.
+func (m *Mesh) plan(c, d, n int) (steps int, forward bool) {
+	if !m.wrap {
+		if d >= c {
+			return d - c, true
+		}
+		return c - d, false
+	}
+	fwd := ((d-c)%n + n) % n
+	if back := n - fwd; back < fwd {
+		return back, false
+	}
+	return fwd, true
+}
+
+func (m *Mesh) account(src int, cycles uint64) {
+	if m.st != nil {
+		m.st.Add(src, stats.NetPacketCycles, int64(cycles))
+	}
+}
+
+// Ideal is a contention-free constant-latency network used for ablation
+// benchmarks ("how much does the mesh matter?"). Serialization can be kept
+// (BytesPerCycle > 0) while removing hops and contention, or removed too
+// (BytesPerCycle == 0 means infinite bandwidth).
+//
+// Like any network the coherence protocol runs over, Ideal preserves
+// point-to-point FIFO ordering: a later packet between the same pair never
+// overtakes an earlier one even if it is smaller. (The directory protocol
+// relies on this, as real protocols do.)
+type Ideal struct {
+	Eng           *Engine
+	N             int
+	Latency       uint64 // flat one-way latency
+	PerByte       uint64 // additional cycles per byte (can be zero)
+	BytesPerCycle int    // wire rate; 0 = infinite
+
+	lastArrival map[[2]int]sim.Time
+}
+
+// Nodes implements Network.
+func (i *Ideal) Nodes() int { return i.N }
+
+// Dist implements Network; an ideal network is one hop everywhere.
+func (i *Ideal) Dist(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return 1
+}
+
+// Send implements Network.
+func (i *Ideal) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
+	if at < i.Eng.Now() {
+		at = i.Eng.Now()
+	}
+	t := at + i.Latency + i.PerByte*uint64(bytes)
+	if i.BytesPerCycle > 0 {
+		t += uint64((bytes + i.BytesPerCycle - 1) / i.BytesPerCycle)
+	}
+	if i.lastArrival == nil {
+		i.lastArrival = make(map[[2]int]sim.Time)
+	}
+	// Strict FIFO per pair: a later packet arrives strictly after an
+	// earlier one (one wire delivers distinct packets at distinct times).
+	// Equal-time delivery would let a chasing recall be processed before
+	// the resume of the processor its grant just woke, livelocking the
+	// retry loop.
+	key := [2]int{src, dst}
+	if prev := i.lastArrival[key]; t <= prev {
+		t = prev + 1
+	}
+	i.lastArrival[key] = t
+	i.Eng.At(t, deliver)
+}

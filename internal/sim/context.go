@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Context is a simulated sequential agent (a processor, a thread). Its body
+// runs on its own goroutine but control is strictly handed back and forth
+// with the engine: the body runs only between a resume and the next call
+// into WaitUntil/Sleep/Block, during which no other context or event runs.
+type Context struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	// gen counts resumptions; wake events capture the generation at which
+	// they were armed so a stale wake (context already resumed by another
+	// path) is dropped instead of corrupting the park/resume protocol.
+	gen uint64
+	// blocked is informational: true while parked with no wake event queued.
+	blocked bool
+}
+
+// Name returns the context's debug name.
+func (c *Context) Name() string { return c.name }
+
+// Engine returns the owning engine.
+func (c *Context) Engine() *Engine { return c.eng }
+
+// Now returns the current simulation time.
+func (c *Context) Now() Time { return c.eng.now }
+
+// Done reports whether the context body has returned.
+func (c *Context) Done() bool { return c.done }
+
+// Spawn creates a context whose body starts running at time `at`. The body
+// executes in simulation order; fn returning ends the context.
+func (e *Engine) Spawn(name string, at Time, fn func(*Context)) *Context {
+	c := &Context{eng: e, name: name, resume: make(chan struct{})}
+	e.nlive++
+	e.ctxs = append(e.ctxs, c)
+	go func() {
+		<-c.resume // wait for first transfer from the engine
+		defer func() {
+			// Re-raise a panic from the body on the engine goroutine so
+			// callers (and tests) can observe it instead of crashing the
+			// process from an anonymous goroutine.
+			if r := recover(); r != nil {
+				e.ctxPanic = &panicValue{ctx: name, val: r, stack: string(debug.Stack())}
+			}
+			c.done = true
+			e.nlive--
+			e.yield <- struct{}{} // final hand-back
+		}()
+		fn(c)
+	}()
+	e.At(at, func() { c.transfer() })
+	return c
+}
+
+// transfer hands control from the engine (or the currently-running event)
+// to the context and waits until the context yields back.
+func (c *Context) transfer() {
+	if c.done {
+		panic("sim: transfer to finished context " + c.name)
+	}
+	c.blocked = false
+	c.resume <- struct{}{}
+	<-c.eng.yield
+	if p := c.eng.ctxPanic; p != nil {
+		c.eng.ctxPanic = nil
+		panic(fmt.Sprintf("sim: context %s panicked: %v\n--- context stack ---\n%s", p.ctx, p.val, p.stack))
+	}
+}
+
+// yieldToEngine parks the calling context and returns control to the engine
+// loop. The context resumes when some event calls transfer on it.
+func (c *Context) yieldToEngine() {
+	c.eng.yield <- struct{}{}
+	<-c.resume
+	c.gen++
+}
+
+// wakeAt arms a wake event at absolute time t for the current park
+// generation; the event is dropped if the context was resumed through
+// another path in the meantime.
+func (c *Context) wakeAt(t Time) {
+	g := c.gen
+	c.eng.At(t, func() {
+		if !c.done && c.gen == g {
+			c.transfer()
+		}
+	})
+}
+
+// WaitUntil advances the context to absolute time t, letting all events and
+// other contexts scheduled before t run. Waiting for the past is a no-op
+// time-wise but still yields so that same-time events interleave fairly.
+func (c *Context) WaitUntil(t Time) {
+	if t < c.eng.now {
+		t = c.eng.now
+	}
+	c.wakeAt(t)
+	c.yieldToEngine()
+}
+
+// Sleep advances the context by d cycles.
+func (c *Context) Sleep(d uint64) { c.WaitUntil(c.eng.now + d) }
+
+// Block parks the context indefinitely. Some other activity must call
+// Unblock (directly or via a Gate) or the context never runs again; the
+// engine detects total deadlock in Machine-level drivers by the event queue
+// draining while contexts remain.
+func (c *Context) Block() {
+	c.blocked = true
+	c.yieldToEngine()
+}
+
+// Unblock schedules the context to resume at the current time. It must be
+// called from engine execution (an event callback or another context), never
+// from outside a running simulation.
+func (c *Context) Unblock() { c.UnblockAt(c.eng.now) }
+
+// UnblockAt schedules the context to resume at absolute time t. A wake is
+// dropped if the context resumed through another path first.
+func (c *Context) UnblockAt(t Time) {
+	if c.done {
+		panic("sim: unblock of finished context " + c.name)
+	}
+	c.wakeAt(t)
+}
+
+// Gate is a one-shot wake-up list: contexts Wait on it, events Fire it.
+// After firing, Wait returns immediately. Typical use: a cache-fill
+// completion that several loads are stalled on.
+type Gate struct {
+	fired   bool
+	waiters []*Context
+}
+
+// Fired reports whether the gate has fired.
+func (g *Gate) Fired() bool { return g.fired }
+
+// Wait parks the context until the gate fires (returns at the fire time).
+func (g *Gate) Wait(c *Context) {
+	if g.fired {
+		return
+	}
+	g.waiters = append(g.waiters, c)
+	c.Block()
+}
+
+// Fire releases all waiters at the current simulation time.
+func (g *Gate) Fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	for _, w := range g.waiters {
+		w.Unblock()
+	}
+	g.waiters = nil
+}
+
+// Live returns the number of spawned contexts whose bodies have not
+// returned. Useful for deadlock diagnostics.
+func (e *Engine) Live() int { return e.nlive }
+
+// Stuck lists the live contexts (name and state) — the ones a deadlock
+// report should name. The engine prunes finished contexts lazily here.
+func (e *Engine) Stuck() []string {
+	kept := e.ctxs[:0]
+	var out []string
+	for _, c := range e.ctxs {
+		if c.done {
+			continue
+		}
+		kept = append(kept, c)
+		out = append(out, c.String())
+	}
+	e.ctxs = kept
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (c *Context) String() string {
+	state := "runnable"
+	if c.done {
+		state = "done"
+	} else if c.blocked {
+		state = "blocked"
+	}
+	return fmt.Sprintf("ctx(%s,%s)", c.name, state)
+}

@@ -1,0 +1,119 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns virtual time. Work is expressed either as plain callback
+// events (Engine.At / Engine.After) or as coroutine contexts (Engine.Spawn)
+// that model sequential agents such as processors. At any instant exactly one
+// logical activity runs — the engine loop, one event callback, or one
+// context — so simulation state never needs locking and runs are fully
+// deterministic: events at equal times fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the simulation clock in processor cycles.
+type Time = uint64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	pq     eventHeap
+	seq    uint64
+	yield  chan struct{} // contexts hand control back to the engine here
+	nlive  int           // live (un-finished) contexts
+	halted bool
+	// ctxPanic carries a panic out of a context goroutine so the engine
+	// goroutine can re-raise it where callers can see it.
+	ctxPanic *panicValue
+	// ctxs tracks spawned contexts for deadlock diagnostics (pruned lazily
+	// by Stuck).
+	ctxs []*Context
+}
+
+type panicValue struct {
+	ctx   string
+	val   interface{}
+	stack string
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Halt stops the run loop after the current event completes. Used by drivers
+// that reached their measurement and do not care about draining the queue.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events in time order until the queue is empty or Halt is
+// called. It must be called from the goroutine that created the engine.
+func (e *Engine) Run() {
+	e.halted = false
+	for len(e.pq) > 0 && !e.halted {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil executes events up to and including time t, leaving later events
+// queued. The clock ends at t even if the queue drains earlier.
+func (e *Engine) RunUntil(t Time) {
+	e.halted = false
+	for len(e.pq) > 0 && !e.halted && e.pq[0].at <= t {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

@@ -1,0 +1,145 @@
+// Package stats collects named counters for a simulation run: coherence
+// traffic, message counts by type, cache hits/misses, cycles stolen by
+// interrupt handlers, link utilization. Counters are plain integers — the
+// whole simulator is single-threaded by construction — and are grouped per
+// node plus machine-wide aggregates.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter names used across the simulator. Modules may add their own; these
+// constants exist so tests and reports don't typo stringly-typed keys.
+const (
+	CacheHits        = "cache.hits"
+	CacheMisses      = "cache.misses"
+	CacheEvictions   = "cache.evictions"
+	CacheWritebacks  = "cache.writebacks"
+	CacheUpgrades    = "cache.upgrades"
+	Prefetches       = "cache.prefetches"
+	PrefetchUseful   = "cache.prefetch_useful"
+	DirOverflows     = "dir.limitless_overflows"
+	DirSWTrapCycles  = "dir.limitless_trap_cycles"
+	ProtoMsgs        = "proto.messages"
+	ProtoInvals      = "proto.invalidations"
+	NetPackets       = "net.packets"
+	NetFlits         = "net.flits"
+	NetPacketCycles  = "net.packet_cycles"
+	MsgsSent         = "cmmu.msgs_sent"
+	MsgsRecv         = "cmmu.msgs_received"
+	MsgWords         = "cmmu.msg_words"
+	DMAWords         = "cmmu.dma_words"
+	IntStolenCycles  = "proc.stolen_cycles"
+	ProcBusyCycles   = "proc.busy_cycles"
+	IdleCycles       = "rts.idle_cycles"
+	ThreadsCreated   = "rts.threads_created"
+	ThreadsStolen    = "rts.threads_stolen"
+	StealAttempts    = "rts.steal_attempts"
+	StealFailures    = "rts.steal_failures"
+	BarrierEpisodes  = "rts.barriers"
+	LockAcquisitions = "rts.lock_acquisitions"
+	LockSpins        = "rts.lock_spins"
+)
+
+// Set is a group of counters for one scope (a node, or the machine).
+type Set struct {
+	m map[string]int64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{m: make(map[string]int64)} }
+
+// Add increments counter name by delta.
+func (s *Set) Add(name string, delta int64) { s.m[name] += delta }
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.m[name]++ }
+
+// Get returns the current value of a counter (zero if never touched).
+func (s *Set) Get(name string) int64 { return s.m[name] }
+
+// Names returns all touched counter names, sorted.
+func (s *Set) Names() []string {
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset zeroes every counter.
+func (s *Set) Reset() {
+	for k := range s.m {
+		delete(s.m, k)
+	}
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Set) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Diff returns s - prev for every counter present in either.
+func (s *Set) Diff(prev map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range s.m {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range prev {
+		if _, ok := s.m[k]; !ok && v != 0 {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// Machine aggregates a global set plus one set per node.
+type Machine struct {
+	Global *Set
+	Node   []*Set
+}
+
+// NewMachine returns stats for n nodes.
+func NewMachine(n int) *Machine {
+	m := &Machine{Global: NewSet(), Node: make([]*Set, n)}
+	for i := range m.Node {
+		m.Node[i] = NewSet()
+	}
+	return m
+}
+
+// Add increments a counter on node id and in the global aggregate.
+func (m *Machine) Add(id int, name string, delta int64) {
+	m.Node[id].Add(name, delta)
+	m.Global.Add(name, delta)
+}
+
+// Inc increments a counter on node id and in the global aggregate.
+func (m *Machine) Inc(id int, name string) { m.Add(id, name, 1) }
+
+// Reset zeroes everything.
+func (m *Machine) Reset() {
+	m.Global.Reset()
+	for _, s := range m.Node {
+		s.Reset()
+	}
+}
+
+// String renders the global counters, one per line, for reports.
+func (m *Machine) String() string {
+	var b strings.Builder
+	for _, name := range m.Global.Names() {
+		fmt.Fprintf(&b, "%-28s %12d\n", name, m.Global.Get(name))
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Add("a", 4)
+	s.Add("b", -2)
+	if s.Get("a") != 5 || s.Get("b") != -2 || s.Get("missing") != 0 {
+		t.Fatalf("counters wrong: a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	s.Reset()
+	if s.Get("a") != 0 || len(s.Names()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	s := NewSet()
+	s.Add("x", 10)
+	snap := s.Snapshot()
+	s.Add("x", 5)
+	s.Add("y", 2)
+	d := s.Diff(snap)
+	if d["x"] != 5 || d["y"] != 2 {
+		t.Fatalf("diff = %v", d)
+	}
+	if len(d) != 2 {
+		t.Fatalf("diff has spurious entries: %v", d)
+	}
+}
+
+func TestMachineAggregates(t *testing.T) {
+	m := NewMachine(4)
+	m.Inc(1, "a")
+	m.Add(2, "a", 3)
+	if m.Global.Get("a") != 4 {
+		t.Fatalf("global = %d, want 4", m.Global.Get("a"))
+	}
+	if m.Node[1].Get("a") != 1 || m.Node[2].Get("a") != 3 || m.Node[0].Get("a") != 0 {
+		t.Fatal("per-node counts wrong")
+	}
+	if !strings.Contains(m.String(), "a") {
+		t.Fatal("String() missing counter")
+	}
+	m.Reset()
+	if m.Global.Get("a") != 0 {
+		t.Fatal("machine reset failed")
+	}
+}
+
+// Property: global always equals the sum of per-node counters.
+func TestPropertyGlobalIsSum(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewMachine(4)
+		for _, op := range ops {
+			m.Add(int(op)%4, "k", int64(op%7))
+		}
+		var sum int64
+		for _, n := range m.Node {
+			sum += n.Get("k")
+		}
+		return m.Global.Get("k") == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

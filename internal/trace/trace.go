@@ -1,0 +1,166 @@
+// Package trace records timestamped simulation events in a bounded ring
+// buffer: coherence misses and fills, protocol invalidations, message
+// sends and deliveries, scheduler decisions, barrier episodes. Tracing is
+// optional and zero-cost when disabled (a nil *Buffer ignores Emit).
+//
+// Traces are for humans and tests: render a window with Format, or
+// aggregate with CountByKind/NodeActivity.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KMiss      Kind = iota // processor missed; Arg = line address
+	KFill                  // fill granted; Arg = line address
+	KInval                 // line invalidated; Arg = line address
+	KRecall                // owner recalled; Arg = line address
+	KWriteback             // dirty eviction; Arg = line address
+	KMsgSend               // message launched; Arg = type
+	KMsgRecv               // handler ran; Arg = type
+	KSteal                 // task stolen; Arg = victim node
+	KDispatch              // thread dispatched; Arg = thread id
+	KSuspend               // thread suspended; Arg = thread id
+	KBarrier               // barrier episode completed; Arg = epoch
+	kMax
+)
+
+var kindNames = [...]string{
+	"miss", "fill", "inval", "recall", "writeback",
+	"msg-send", "msg-recv", "steal", "dispatch", "suspend", "barrier",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At   uint64
+	Node int
+	Kind Kind
+	Arg  uint64
+}
+
+// Buffer is a bounded event ring. The zero value is unusable; call New.
+// A nil *Buffer is a valid no-op sink.
+type Buffer struct {
+	ring    []Event
+	start   int // index of oldest
+	n       int // live events
+	dropped int
+}
+
+// New returns a buffer keeping the most recent cap events.
+func New(cap int) *Buffer {
+	if cap <= 0 {
+		panic("trace: buffer capacity must be positive")
+	}
+	return &Buffer{ring: make([]Event, cap)}
+}
+
+// Emit records an event; on a full buffer the oldest is dropped.
+func (b *Buffer) Emit(at uint64, node int, kind Kind, arg uint64) {
+	if b == nil {
+		return
+	}
+	if b.n == len(b.ring) {
+		b.ring[b.start] = Event{At: at, Node: node, Kind: kind, Arg: arg}
+		b.start = (b.start + 1) % len(b.ring)
+		b.dropped++
+		return
+	}
+	b.ring[(b.start+b.n)%len(b.ring)] = Event{At: at, Node: node, Kind: kind, Arg: arg}
+	b.n++
+}
+
+// Len reports the number of retained events; Dropped how many were lost to
+// capacity.
+func (b *Buffer) Len() int { return b.n }
+
+// Dropped reports how many events were evicted from the ring.
+func (b *Buffer) Dropped() int { return b.dropped }
+
+// Events returns the retained events, oldest first.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.ring[(b.start+i)%len(b.ring)]
+	}
+	return out
+}
+
+// Reset empties the buffer.
+func (b *Buffer) Reset() {
+	b.start, b.n, b.dropped = 0, 0, 0
+}
+
+// CountByKind aggregates retained events.
+func (b *Buffer) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range b.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// NodeActivity counts retained events per node.
+func (b *Buffer) NodeActivity() map[int]int {
+	out := make(map[int]int)
+	for _, e := range b.Events() {
+		out[e.Node]++
+	}
+	return out
+}
+
+// Filter returns retained events matching kind, oldest first.
+func (b *Buffer) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Format renders up to max events as an aligned text listing.
+func (b *Buffer) Format(max int) string {
+	evs := b.Events()
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	var sb strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&sb, "%10d  n%-3d %-10s %#x\n", e.At, e.Node, e.Kind, e.Arg)
+	}
+	if b.dropped > 0 {
+		fmt.Fprintf(&sb, "(%d earlier events dropped)\n", b.dropped)
+	}
+	return sb.String()
+}
+
+// Summary renders per-kind counts, sorted by kind.
+func (b *Buffer) Summary() string {
+	counts := b.CountByKind()
+	kinds := make([]Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var sb strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "%-12s %8d\n", k, counts[k])
+	}
+	return sb.String()
+}
