@@ -1,0 +1,30 @@
+# Tier-1 verification: what CI (and the roadmap) gate on.
+#
+#   make check     build, vet, full test suite under the race detector,
+#                  then a protocol stress smoke (8 seeds, 2000 ops/node,
+#                  live invariants + per-location SC history checking)
+#   make stress    the longer fuzz run used before cutting a release
+
+GO ?= go
+
+.PHONY: check build vet test stress-smoke stress bench
+
+check: build vet test stress-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+stress-smoke:
+	$(GO) run ./cmd/alewife-stress -ops 2000 -seeds 8
+
+stress:
+	$(GO) run ./cmd/alewife-stress -ops 5000 -seeds 64
+
+bench:
+	$(GO) run ./cmd/alewife-bench -all

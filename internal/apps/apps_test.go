@@ -8,8 +8,32 @@ import (
 	"alewife/internal/machine"
 )
 
-func newRT(nodes int, mode core.Mode) *core.RT {
-	return core.NewDefault(machine.New(machine.DefaultConfig(nodes)), mode)
+// newRT builds a runtime on a fresh machine and arms a teardown coherence
+// sweep: once the test body finishes, every cached line must agree with its
+// home directory (mem.Fabric.CheckConsistency at quiescence).
+func newRT(t *testing.T, nodes int, mode core.Mode) *core.RT {
+	t.Helper()
+	rt := core.NewDefault(machine.New(machine.DefaultConfig(nodes)), mode)
+	checkCoherence(t, rt.M)
+	return rt
+}
+
+// checkedMachine builds a bare machine with the same teardown sweep armed.
+func checkedMachine(t *testing.T, nodes int) *machine.Machine {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	checkCoherence(t, m)
+	return m
+}
+
+// checkCoherence registers a cleanup validating the machine's memory system.
+func checkCoherence(t *testing.T, m *machine.Machine) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := m.Fab.CheckConsistency(); err != nil {
+			t.Errorf("coherence at teardown: %v", err)
+		}
+	})
 }
 
 func TestGrainSequentialCalibration(t *testing.T) {
@@ -36,7 +60,7 @@ func TestGrainSequentialCalibration(t *testing.T) {
 func TestGrainParallelCorrectAndFaster(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
 		seq := GrainSequential(machine.New(machine.DefaultConfig(1)), 8, 200)
-		rt := newRT(8, mode)
+		rt := newRT(t, 8, mode)
 		par := GrainParallel(rt, 8, 200)
 		if par.Sum != 256 {
 			t.Fatalf("%v: sum = %d, want 256", mode, par.Sum)
@@ -51,8 +75,8 @@ func TestGrainParallelCorrectAndFaster(t *testing.T) {
 
 func TestGrainHybridBeatsSMFineGrain(t *testing.T) {
 	// The paper's headline scheduler result at fine grain (Figure 9).
-	sm := GrainParallel(newRT(16, core.ModeSharedMemory), 9, 0)
-	hy := GrainParallel(newRT(16, core.ModeHybrid), 9, 0)
+	sm := GrainParallel(newRT(t, 16, core.ModeSharedMemory), 9, 0)
+	hy := GrainParallel(newRT(t, 16, core.ModeHybrid), 9, 0)
 	t.Logf("grain depth 9 l=0 on 16 nodes: SM=%d cycles, hybrid=%d cycles (ratio %.2f)",
 		sm.Cycles, hy.Cycles, float64(sm.Cycles)/float64(hy.Cycles))
 	if hy.Cycles >= sm.Cycles {
@@ -67,7 +91,7 @@ func TestAQSequentialAndParallelAgree(t *testing.T) {
 		t.Fatal("aq did not evaluate any cells")
 	}
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		rt := newRT(8, mode)
+		rt := newRT(t, 8, mode)
 		par := AQParallel(rt, 0.02)
 		if math.Abs(par.Integral-seq.Integral) > 1e-9 {
 			t.Fatalf("%v: integral %.12f != sequential %.12f", mode, par.Integral, seq.Integral)
@@ -104,7 +128,7 @@ func TestJacobiMatchesReference(t *testing.T) {
 	const g, iters = 16, 5
 	want := JacobiReference(g, iters)
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		rt := newRT(4, mode)
+		rt := newRT(t, 4, mode)
 		r := Jacobi(rt, g, iters)
 		if math.Abs(r.Checksum-want) > 1e-9 {
 			t.Fatalf("%v: checksum %.12f, want %.12f", mode, r.Checksum, want)
@@ -116,8 +140,8 @@ func TestJacobiSmallGridsFavorSM(t *testing.T) {
 	// Figure 11's crossover claim, small side: with little data per border,
 	// shared-memory exchange should not lose (it wins slightly in the
 	// paper).
-	sm := Jacobi(newRT(16, core.ModeSharedMemory), 32, 4)
-	mp := Jacobi(newRT(16, core.ModeHybrid), 32, 4)
+	sm := Jacobi(newRT(t, 16, core.ModeSharedMemory), 32, 4)
+	mp := Jacobi(newRT(t, 16, core.ModeHybrid), 32, 4)
 	t.Logf("jacobi 32x32 on 16 nodes: SM=%d MP=%d cycles/iter", sm.CyclesPerIter, mp.CyclesPerIter)
 	ratio := float64(mp.CyclesPerIter) / float64(sm.CyclesPerIter)
 	if ratio < 0.65 {
@@ -132,7 +156,7 @@ func TestAccumCorrectBothWays(t *testing.T) {
 	if sm.Sum != AccumExpected(words) {
 		t.Fatalf("SM sum = %d, want %d", sm.Sum, AccumExpected(words))
 	}
-	rt := newRT(4, core.ModeHybrid)
+	rt := newRT(t, 4, core.ModeHybrid)
 	mp := AccumMP(rt, 3, words)
 	if mp.Sum != AccumExpected(words) {
 		t.Fatalf("MP sum = %d, want %d", mp.Sum, AccumExpected(words))
@@ -147,7 +171,7 @@ func TestMemcpyShapes(t *testing.T) {
 	// Figure 7 ordering at 4 KB: message < no-prefetch < prefetch.
 	res := map[CopyKind]MemcpyResult{}
 	for _, k := range []CopyKind{CopyNoPrefetch, CopyPrefetch, CopyMessage} {
-		rt := newRT(4, core.ModeHybrid)
+		rt := newRT(t, 4, core.ModeHybrid)
 		res[k] = Memcpy(rt, 3, 4096, k)
 	}
 	t.Logf("4KB copy: msg=%d nopf=%d pf=%d cycles (%.1f / %.1f / %.1f MB/s)",

@@ -7,15 +7,15 @@ import (
 	"alewife/internal/machine"
 )
 
-func bfsSetup(nodes, vertices, deg int, mode core.Mode) (*core.RT, *BFSGraph) {
-	rt := newRT(nodes, mode)
+func bfsSetup(t *testing.T, nodes, vertices, deg int, mode core.Mode) (*core.RT, *BFSGraph) {
+	rt := newRT(t, nodes, mode)
 	g := NewBFSGraph(rt.M, vertices, deg)
 	return rt, g
 }
 
 func TestBFSMatchesReferenceBothModes(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		rt, g := bfsSetup(4, 200, 3, mode)
+		rt, g := bfsSetup(t, 4, 200, 3, mode)
 		wantV, wantL := g.BFSReference(0)
 		r := BFS(rt, g, 0)
 		if r.Visited != wantV || r.LevelSum != wantL {
@@ -27,7 +27,7 @@ func TestBFSMatchesReferenceBothModes(t *testing.T) {
 
 func TestBFSVisitsEverything(t *testing.T) {
 	// The ring edge guarantees connectivity: every vertex is reached.
-	rt, g := bfsSetup(4, 128, 2, core.ModeHybrid)
+	rt, g := bfsSetup(t, 4, 128, 2, core.ModeHybrid)
 	r := BFS(rt, g, 5)
 	if r.Visited != 128 {
 		t.Fatalf("visited %d of 128", r.Visited)
@@ -39,7 +39,7 @@ func TestBFSVisitsEverything(t *testing.T) {
 
 func TestBFSDifferentRoots(t *testing.T) {
 	for _, root := range []uint32{0, 7, 63} {
-		rt, g := bfsSetup(4, 64, 3, core.ModeSharedMemory)
+		rt, g := bfsSetup(t, 4, 64, 3, core.ModeSharedMemory)
 		wantV, wantL := g.BFSReference(root)
 		r := BFS(rt, g, root)
 		if r.Visited != wantV || r.LevelSum != wantL {
@@ -49,7 +49,7 @@ func TestBFSDifferentRoots(t *testing.T) {
 }
 
 func TestBFSSingleNode(t *testing.T) {
-	rt, g := bfsSetup(1, 64, 3, core.ModeHybrid)
+	rt, g := bfsSetup(t, 1, 64, 3, core.ModeHybrid)
 	wantV, wantL := g.BFSReference(0)
 	r := BFS(rt, g, 0)
 	if r.Visited != wantV || r.LevelSum != wantL {
@@ -60,9 +60,9 @@ func TestBFSSingleNode(t *testing.T) {
 func TestBFSHybridBeatsSM(t *testing.T) {
 	// The dynamic-application headline: with most edges crossing nodes,
 	// active messages beat remote read-modify-writes.
-	smRT, smG := bfsSetup(8, 512, 4, core.ModeSharedMemory)
+	smRT, smG := bfsSetup(t, 8, 512, 4, core.ModeSharedMemory)
 	sm := BFS(smRT, smG, 0)
-	hyRT, hyG := bfsSetup(8, 512, 4, core.ModeHybrid)
+	hyRT, hyG := bfsSetup(t, 8, 512, 4, core.ModeHybrid)
 	hy := BFS(hyRT, hyG, 0)
 	if sm.Visited != hy.Visited || sm.LevelSum != hy.LevelSum {
 		t.Fatalf("modes disagree: %d/%d vs %d/%d", sm.Visited, sm.LevelSum, hy.Visited, hy.LevelSum)
@@ -76,7 +76,7 @@ func TestBFSHybridBeatsSM(t *testing.T) {
 
 func TestBFSDeterministic(t *testing.T) {
 	run := func() uint64 {
-		rt, g := bfsSetup(4, 128, 3, core.ModeHybrid)
+		rt, g := bfsSetup(t, 4, 128, 3, core.ModeHybrid)
 		return BFS(rt, g, 0).Cycles
 	}
 	if a, b := run(), run(); a != b {

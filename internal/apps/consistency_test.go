@@ -15,16 +15,19 @@ import (
 // properly synchronized programs of the paper, the two models must agree
 // on every answer — these tests validate the relaxation claim end to end.
 
-func scRT(nodes int, mode core.Mode) *core.RT {
+func scRT(t *testing.T, nodes int, mode core.Mode) *core.RT {
+	t.Helper()
 	cfg := machine.DefaultConfig(nodes)
 	cfg.SeqConsistent = true
-	return core.NewDefault(machine.New(cfg), mode)
+	rt := core.NewDefault(machine.New(cfg), mode)
+	checkCoherence(t, rt.M)
+	return rt
 }
 
 func TestGrainSameUnderSC(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		wo := GrainParallel(newRT(8, mode), 7, 50)
-		sc := GrainParallel(scRT(8, mode), 7, 50)
+		wo := GrainParallel(newRT(t, 8, mode), 7, 50)
+		sc := GrainParallel(scRT(t, 8, mode), 7, 50)
 		if wo.Sum != sc.Sum {
 			t.Fatalf("%v: weak %d != SC %d", mode, wo.Sum, sc.Sum)
 		}
@@ -34,7 +37,7 @@ func TestGrainSameUnderSC(t *testing.T) {
 func TestJacobiSameUnderSC(t *testing.T) {
 	want := JacobiReference(16, 4)
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		sc := Jacobi(scRT(4, mode), 16, 4)
+		sc := Jacobi(scRT(t, 4, mode), 16, 4)
 		if math.Abs(sc.Checksum-want) > 1e-9 {
 			t.Fatalf("%v: SC checksum %.9f, want %.9f", mode, sc.Checksum, want)
 		}
@@ -42,8 +45,8 @@ func TestJacobiSameUnderSC(t *testing.T) {
 }
 
 func TestAQSameUnderSC(t *testing.T) {
-	wo := AQParallel(newRT(4, core.ModeHybrid), 0.03)
-	sc := AQParallel(scRT(4, core.ModeHybrid), 0.03)
+	wo := AQParallel(newRT(t, 4, core.ModeHybrid), 0.03)
+	sc := AQParallel(scRT(t, 4, core.ModeHybrid), 0.03)
 	if wo.Integral != sc.Integral {
 		t.Fatalf("aq integral: weak %v != SC %v", wo.Integral, sc.Integral)
 	}
@@ -52,7 +55,9 @@ func TestAQSameUnderSC(t *testing.T) {
 func TestProdConsSameUnderSC(t *testing.T) {
 	cfg := machine.DefaultConfig(2)
 	cfg.SeqConsistent = true
-	sc := ProdConsSM(machine.New(cfg), 32)
+	m := machine.New(cfg)
+	checkCoherence(t, m)
+	sc := ProdConsSM(m, 32)
 	if sc.Sum != 32*33/2 {
 		t.Fatalf("SC handoff sum = %d", sc.Sum)
 	}

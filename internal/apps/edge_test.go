@@ -11,7 +11,7 @@ import (
 func TestGrainDepthZero(t *testing.T) {
 	// A single leaf: no forks at all.
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		r := GrainParallel(newRT(2, mode), 0, 50)
+		r := GrainParallel(newRT(t, 2, mode), 0, 50)
 		if r.Sum != 1 {
 			t.Fatalf("%v: depth-0 sum = %d", mode, r.Sum)
 		}
@@ -25,7 +25,7 @@ func TestGrainDepthZero(t *testing.T) {
 func TestGrainSingleNodeMatchesWork(t *testing.T) {
 	// Parallel on one node: same answer, bounded overhead vs sequential.
 	seq := GrainSequential(machine.New(machine.DefaultConfig(1)), 7, 100)
-	par := GrainParallel(newRT(1, core.ModeHybrid), 7, 100)
+	par := GrainParallel(newRT(t, 1, core.ModeHybrid), 7, 100)
 	if par.Sum != seq.Sum {
 		t.Fatalf("sums differ: %d vs %d", par.Sum, seq.Sum)
 	}
@@ -40,7 +40,7 @@ func TestGrainSingleNodeMatchesWork(t *testing.T) {
 func TestJacobiSingleNode(t *testing.T) {
 	want := JacobiReference(8, 4)
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		r := Jacobi(newRT(1, mode), 8, 4)
+		r := Jacobi(newRT(t, 1, mode), 8, 4)
 		if math.Abs(r.Checksum-want) > 1e-9 {
 			t.Fatalf("%v: 1-node checksum %.9f, want %.9f", mode, r.Checksum, want)
 		}
@@ -51,7 +51,7 @@ func TestJacobiNonSquareProcGrid(t *testing.T) {
 	// 8 nodes -> 4x2 processor grid; blocks are non-square.
 	want := JacobiReference(16, 6)
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		r := Jacobi(newRT(8, mode), 16, 6)
+		r := Jacobi(newRT(t, 8, mode), 16, 6)
 		if math.Abs(r.Checksum-want) > 1e-9 {
 			t.Fatalf("%v: 4x2 checksum %.9f, want %.9f", mode, r.Checksum, want)
 		}
@@ -64,21 +64,21 @@ func TestJacobiIndivisibleGridPanics(t *testing.T) {
 			t.Fatal("expected panic for indivisible grid")
 		}
 	}()
-	Jacobi(newRT(4, core.ModeHybrid), 17, 1)
+	Jacobi(newRT(t, 4, core.ModeHybrid), 17, 1)
 }
 
 func TestJacobiManyIterationsStaysCorrect(t *testing.T) {
 	// Longer runs exercise the parity double-buffering repeatedly.
 	want := JacobiReference(8, 21) // odd iteration count: final parity flip
-	r := Jacobi(newRT(4, core.ModeHybrid), 8, 21)
+	r := Jacobi(newRT(t, 4, core.ModeHybrid), 8, 21)
 	if math.Abs(r.Checksum-want) > 1e-9 {
 		t.Fatalf("21-iter checksum %.9f, want %.9f", r.Checksum, want)
 	}
 }
 
 func TestAQDeterministicAcrossModes(t *testing.T) {
-	a := AQParallel(newRT(4, core.ModeSharedMemory), 0.03)
-	b := AQParallel(newRT(4, core.ModeHybrid), 0.03)
+	a := AQParallel(newRT(t, 4, core.ModeSharedMemory), 0.03)
+	b := AQParallel(newRT(t, 4, core.ModeHybrid), 0.03)
 	if a.Integral != b.Integral {
 		t.Fatalf("aq integral differs across modes: %v vs %v", a.Integral, b.Integral)
 	}
@@ -105,7 +105,7 @@ func TestAccumTinyAndLineUnaligned(t *testing.T) {
 		if sm.Sum != AccumExpected(words) {
 			t.Fatalf("SM words=%d sum=%d", words, sm.Sum)
 		}
-		mp := AccumMP(newRT(2, core.ModeHybrid), 1, words)
+		mp := AccumMP(newRT(t, 2, core.ModeHybrid), 1, words)
 		if mp.Sum != AccumExpected(words) {
 			t.Fatalf("MP words=%d sum=%d", words, mp.Sum)
 		}
@@ -138,7 +138,7 @@ func TestJacobiResultString(t *testing.T) {
 }
 
 func TestTransposeSingleNodeDegenerate(t *testing.T) {
-	r := Transpose(newRT(1, core.ModeHybrid), 8)
+	r := Transpose(newRT(t, 1, core.ModeHybrid), 8)
 	if r.Cycles == 0 {
 		t.Fatal("1-node transpose measured nothing")
 	}

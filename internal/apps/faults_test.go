@@ -25,7 +25,7 @@ func jitterRT(nodes int, mode core.Mode, maxJitter, seed uint64) *core.RT {
 
 func TestGrainCorrectUnderJitter(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		base := GrainParallel(newRT(8, mode), 7, 50)
+		base := GrainParallel(newRT(t, 8, mode), 7, 50)
 		for _, seed := range []uint64{1, 7, 1234} {
 			r := GrainParallel(jitterRT(8, mode, 200, seed), 7, 50)
 			if r.Sum != base.Sum {
@@ -48,7 +48,7 @@ func TestJacobiCorrectUnderJitter(t *testing.T) {
 }
 
 func TestJitterChangesTimingOnly(t *testing.T) {
-	base := GrainParallel(newRT(4, core.ModeHybrid), 6, 100)
+	base := GrainParallel(newRT(t, 4, core.ModeHybrid), 6, 100)
 	jit := GrainParallel(jitterRT(4, core.ModeHybrid, 300, 5), 6, 100)
 	if jit.Cycles == base.Cycles {
 		t.Log("jitter did not change timing (possible but unlikely)")

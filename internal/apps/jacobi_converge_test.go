@@ -15,7 +15,7 @@ func TestJacobiConvergeMatchesReference(t *testing.T) {
 		t.Fatalf("reference did not converge sensibly: %d iters", wantIters)
 	}
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		r := JacobiConverge(newRT(4, mode), g, tol, 500)
+		r := JacobiConverge(newRT(t, 4, mode), g, tol, 500)
 		if r.Iters != wantIters {
 			t.Fatalf("%v: converged in %d iters, reference %d", mode, r.Iters, wantIters)
 		}
@@ -26,15 +26,15 @@ func TestJacobiConvergeMatchesReference(t *testing.T) {
 }
 
 func TestJacobiConvergeTightToleranceRunsLonger(t *testing.T) {
-	loose := JacobiConverge(newRT(4, core.ModeHybrid), 16, 0.05, 500)
-	tight := JacobiConverge(newRT(4, core.ModeHybrid), 16, 0.005, 500)
+	loose := JacobiConverge(newRT(t, 4, core.ModeHybrid), 16, 0.05, 500)
+	tight := JacobiConverge(newRT(t, 4, core.ModeHybrid), 16, 0.005, 500)
 	if tight.Iters <= loose.Iters {
 		t.Fatalf("tight tol converged in %d iters, loose in %d", tight.Iters, loose.Iters)
 	}
 }
 
 func TestJacobiConvergeHitsMaxIters(t *testing.T) {
-	r := JacobiConverge(newRT(4, core.ModeHybrid), 16, 0, 7) // tol 0 never converges
+	r := JacobiConverge(newRT(t, 4, core.ModeHybrid), 16, 0, 7) // tol 0 never converges
 	if r.Iters != 7 {
 		t.Fatalf("max-iters cap not honoured: %d", r.Iters)
 	}
@@ -42,7 +42,7 @@ func TestJacobiConvergeHitsMaxIters(t *testing.T) {
 
 func TestJacobiConvergeSingleNode(t *testing.T) {
 	wantIters, wantSum := JacobiConvergeReference(8, 0.02, 500)
-	r := JacobiConverge(newRT(1, core.ModeSharedMemory), 8, 0.02, 500)
+	r := JacobiConverge(newRT(t, 1, core.ModeSharedMemory), 8, 0.02, 500)
 	if r.Iters != wantIters || math.Abs(r.Checksum-wantSum) > 1e-9 {
 		t.Fatalf("1-node converge: %d iters %.9f, want %d %.9f", r.Iters, r.Checksum, wantIters, wantSum)
 	}
@@ -52,8 +52,8 @@ func TestJacobiConvergeHybridReductionFaster(t *testing.T) {
 	// The reduction wave is the per-iteration global operation; the hybrid
 	// tree should finish the whole solve faster at small grids where the
 	// reduction dominates the stencil.
-	sm := JacobiConverge(newRT(16, core.ModeSharedMemory), 16, 0.01, 500)
-	hy := JacobiConverge(newRT(16, core.ModeHybrid), 16, 0.01, 500)
+	sm := JacobiConverge(newRT(t, 16, core.ModeSharedMemory), 16, 0.01, 500)
+	hy := JacobiConverge(newRT(t, 16, core.ModeHybrid), 16, 0.01, 500)
 	if sm.Iters != hy.Iters {
 		t.Fatalf("iteration counts differ: %d vs %d", sm.Iters, hy.Iters)
 	}

@@ -5,17 +5,16 @@ import (
 	"testing/quick"
 
 	"alewife/internal/core"
-	"alewife/internal/machine"
 )
 
 func TestProdConsCorrectBothWays(t *testing.T) {
 	const words = 64
 	want := uint64(words * (words + 1) / 2)
-	sm := ProdConsSM(machine.New(machine.DefaultConfig(2)), words)
+	sm := ProdConsSM(checkedMachine(t, 2), words)
 	if sm.Sum != want {
 		t.Fatalf("SM handoff sum = %d, want %d", sm.Sum, want)
 	}
-	mp := ProdConsMP(newRT(2, core.ModeHybrid), words)
+	mp := ProdConsMP(newRT(t, 2, core.ModeHybrid), words)
 	if mp.Sum != want {
 		t.Fatalf("MP handoff sum = %d, want %d", mp.Sum, want)
 	}
@@ -29,8 +28,8 @@ func TestProdConsSmallRecordAdvantageLarger(t *testing.T) {
 	// The bundling advantage is proportionally biggest when the record is
 	// tiny and synchronization dominates.
 	ratio := func(words uint64) float64 {
-		sm := ProdConsSM(machine.New(machine.DefaultConfig(2)), words)
-		mp := ProdConsMP(newRT(2, core.ModeHybrid), words)
+		sm := ProdConsSM(checkedMachine(t, 2), words)
+		mp := ProdConsMP(newRT(t, 2, core.ModeHybrid), words)
 		return float64(sm.Cycles) / float64(mp.Cycles)
 	}
 	small := ratio(2)
@@ -45,8 +44,8 @@ func TestPropertyProdConsChecksum(t *testing.T) {
 	f := func(raw uint8) bool {
 		words := uint64(raw%120) + 1
 		want := words * (words + 1) / 2
-		sm := ProdConsSM(machine.New(machine.DefaultConfig(2)), words)
-		mp := ProdConsMP(newRT(2, core.ModeHybrid), words)
+		sm := ProdConsSM(checkedMachine(t, 2), words)
+		mp := ProdConsMP(newRT(t, 2, core.ModeHybrid), words)
 		return sm.Sum == want && mp.Sum == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
@@ -59,7 +58,7 @@ func TestTransposeBothModes(t *testing.T) {
 	// over a few sizes.
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
 		for _, words := range []uint64{2, 16, 64} {
-			r := Transpose(newRT(8, mode), words)
+			r := Transpose(newRT(t, 8, mode), words)
 			if r.Cycles == 0 {
 				t.Fatalf("%v words=%d: no cycles measured", mode, words)
 			}
@@ -69,15 +68,15 @@ func TestTransposeBothModes(t *testing.T) {
 
 func TestTransposeCrossover(t *testing.T) {
 	// Large blocks: messages must win decisively (paper condition i).
-	sm := Transpose(newRT(8, core.ModeSharedMemory), 256)
-	mp := Transpose(newRT(8, core.ModeHybrid), 256)
+	sm := Transpose(newRT(t, 8, core.ModeSharedMemory), 256)
+	mp := Transpose(newRT(t, 8, core.ModeHybrid), 256)
 	t.Logf("transpose 2KB blocks: SM=%d MP=%d", sm.Cycles, mp.Cycles)
 	if mp.Cycles*2 >= sm.Cycles {
 		t.Fatalf("MP transpose (%d) not >=2x faster than SM (%d) at 2KB blocks", mp.Cycles, sm.Cycles)
 	}
 	// Tiny blocks: fixed messaging overhead must make SM competitive.
-	smSmall := Transpose(newRT(8, core.ModeSharedMemory), 2)
-	mpSmall := Transpose(newRT(8, core.ModeHybrid), 2)
+	smSmall := Transpose(newRT(t, 8, core.ModeSharedMemory), 2)
+	mpSmall := Transpose(newRT(t, 8, core.ModeHybrid), 2)
 	t.Logf("transpose 16B blocks: SM=%d MP=%d", smSmall.Cycles, mpSmall.Cycles)
 	if smSmall.Cycles > mpSmall.Cycles {
 		t.Fatalf("SM transpose (%d) lost to MP (%d) even at 16B blocks", smSmall.Cycles, mpSmall.Cycles)

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"alewife/internal/core"
+	"alewife/internal/machine"
+)
+
+// The simulator's replay guarantee: a run is a pure function of its inputs.
+// These golden tests execute the paper's E1 (barrier) and E2 (invoke)
+// measurements twice in-process and require bit-identical cycle counts and
+// bit-identical stats snapshots — any hidden nondeterminism (map iteration,
+// time, leftover global state) breaks them.
+
+func TestBarrierDeterministic(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		a := barrierCycles(16, mode, core.DefaultMsgArity, core.DefaultSMArity)
+		b := barrierCycles(16, mode, core.DefaultMsgArity, core.DefaultSMArity)
+		if a != b {
+			t.Errorf("%v: barrier cycles differ across identical runs: %d vs %d", mode, a, b)
+		}
+	}
+}
+
+func TestInvokeDeterministic(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		ar, ae := invokeTimes(16, mode)
+		br, be := invokeTimes(16, mode)
+		if ar != br || ae != be {
+			t.Errorf("%v: invoke times differ across identical runs: (%d,%d) vs (%d,%d)",
+				mode, ar, ae, br, be)
+		}
+	}
+}
+
+// barrierStats runs the E1 measurement loop on a fresh machine and returns
+// its final cycle count plus full per-node and global counter snapshots.
+func barrierStats(mode core.Mode) (uint64, []map[string]int64) {
+	rt := newRT(16, mode)
+	rt.SPMD(func(p *machine.Proc) {
+		for i := 0; i < 4; i++ {
+			rt.Barrier().Sync(p)
+		}
+		p.Flush()
+	})
+	snaps := []map[string]int64{rt.M.St.Global.Snapshot()}
+	for _, s := range rt.M.St.Node {
+		snaps = append(snaps, s.Snapshot())
+	}
+	return uint64(rt.M.Eng.Now()), snaps
+}
+
+func TestStatsSnapshotDeterministic(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		ac, as := barrierStats(mode)
+		bc, bs := barrierStats(mode)
+		if ac != bc {
+			t.Errorf("%v: final cycle differs: %d vs %d", mode, ac, bc)
+		}
+		if !reflect.DeepEqual(as, bs) {
+			for i := range as {
+				if !reflect.DeepEqual(as[i], bs[i]) {
+					t.Errorf("%v: stats set %d differs:\n run1: %v\n run2: %v", mode, i, as[i], bs[i])
+				}
+			}
+		}
+	}
+}

@@ -127,6 +127,10 @@ type CMMU struct {
 
 	// Trace, when non-nil, records message events.
 	Trace *trace.Buffer
+	// Check, when non-nil, validates delivery discipline (see Checker).
+	Check *Checker
+	// Fault, when non-nil, injects delivery mutations for checker tests.
+	Fault *Fault
 
 	masked   bool
 	queued   []*Env
@@ -221,7 +225,7 @@ func (c *CMMU) Masked() bool { return c.masked }
 
 // arrive runs at packet-arrival time (or at unmask/port-free time).
 func (c *CMMU) arrive(env *Env) {
-	if c.masked {
+	if c.masked && !c.Fault.drainMasked() {
 		c.queued = append(c.queued, env)
 		return
 	}
@@ -240,9 +244,11 @@ func (c *CMMU) arrive(env *Env) {
 		c.st.Inc(c.node, stats.MsgsRecv)
 	}
 	c.Trace.Emit(now, c.node, trace.KMsgRecv, uint64(env.Type))
+	c.Check.handlerStart(c, env.Type)
 	env.cm = c
 	env.cycles = c.p.InterruptEntry
 	h(env)
+	c.Check.handlerEnd(c)
 	total := env.cycles
 	c.rxFreeAt = now + total
 	if c.sink != nil {

@@ -28,6 +28,12 @@ type Fabric struct {
 	Ctrls []*Ctrl
 	// Trace, when non-nil, records protocol events.
 	Trace *trace.Buffer
+	// Check, when non-nil, validates protocol invariants after every state
+	// transition (see LiveChecker); attach with AttachChecker.
+	Check *LiveChecker
+	// Fault, when non-nil, injects deliberate protocol mutations; used only
+	// by the stress harness and the checker's regression tests.
+	Fault *Fault
 }
 
 // NewFabric wires up n controllers over the given network and store.
@@ -388,12 +394,17 @@ func (c *Ctrl) grantArrive(line Addr, granted LState) {
 		c.txnFreed = nil
 		g.Fire()
 	}
+	c.f.Check.event(trace.KFill, c.node, line)
 }
 
 // writeback sends a dirty victim home.
 func (c *Ctrl) writeback(line Addr) {
 	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KWriteback, uint64(line))
 	c.f.count(c.node, stats.CacheWritebacks)
+	c.f.Check.wbSent(c.node, line)
+	if c.f.Fault.dropWriteback() {
+		return
+	}
 	h := c.home(line)
 	if h == c.node {
 		c.f.Ctrls[h].wbArrive(line, c.node)
@@ -480,13 +491,18 @@ func (c *Ctrl) serveRead(line Addr, e *dirEntry, from int) {
 	default:
 		panic("mem: serveRead on transient entry")
 	}
+	c.f.Check.event(trace.KMiss, c.node, line)
 }
 
 func (c *Ctrl) serveWrite(line Addr, e *dirEntry, from int) {
+	defer c.f.Check.event(trace.KMiss, c.node, line)
 	switch e.state {
 	case dIdle:
 		e.state = dExcl
 		e.owner = from
+		if c.f.Fault.wrongOwner() {
+			e.owner = (from + 1) % len(c.f.Ctrls)
+		}
 		e.sharers = nil
 		e.overflow = false
 		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles, func(done sim.Time) {
@@ -500,7 +516,7 @@ func (c *Ctrl) serveWrite(line Addr, e *dirEntry, from int) {
 				targets = append(targets, s)
 			}
 		}
-		if len(targets) == 0 {
+		if len(targets) == 0 || c.f.Fault.skipInval() {
 			// Lone sharer upgrading: grant without data.
 			e.state = dExcl
 			e.owner = from
@@ -550,6 +566,9 @@ func (c *Ctrl) serveWrite(line Addr, e *dirEntry, from int) {
 // hardware pointers are emptied into a software array in home memory;
 // afterwards every pointer insert is a software write.
 func (c *Ctrl) addSharer(e *dirEntry, n int) (sw uint64) {
+	if c.f.Fault.forgetSharer() {
+		return 0
+	}
 	if e.hasSharer(n) {
 		return 0
 	}
@@ -606,8 +625,11 @@ func (c *Ctrl) sendCtl(to int, at sim.Time, fn func()) {
 // even when the line was silently evicted (the directory pointer was stale).
 func (c *Ctrl) invArrive(line Addr) {
 	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KInval, uint64(line))
-	c.cache.SetState(line, Invalid)
-	delete(c.prefetched, line)
+	if !c.f.Fault.dropInval() {
+		c.cache.SetState(line, Invalid)
+		delete(c.prefetched, line)
+	}
+	c.f.Check.event(trace.KInval, c.node, line)
 	h := c.home(line)
 	if h == c.node {
 		c.f.Ctrls[h].invAckArrive(line, c.node)
@@ -627,6 +649,7 @@ func (c *Ctrl) invAckArrive(line Addr, from int) {
 	e.dropSharer(from)
 	e.pendAcks--
 	if e.pendAcks > 0 {
+		c.f.Check.event(trace.KInval, c.node, line)
 		return
 	}
 	to := e.pendFrom
@@ -643,6 +666,7 @@ func (c *Ctrl) invAckArrive(line Addr, from int) {
 		c.sendGrant(line, to, Exclusive, withData, done)
 	})
 	c.settle(line)
+	c.f.Check.event(trace.KInval, c.node, line)
 }
 
 // recallArrive handles a recall at the (supposed) owner. forWrite recalls
@@ -660,6 +684,7 @@ func (c *Ctrl) recallArrive(line Addr, forWrite bool) {
 	} else {
 		c.cache.SetState(line, Shared)
 	}
+	c.f.Check.event(trace.KRecall, c.node, line)
 	h := c.home(line)
 	if h == c.node {
 		c.f.Ctrls[h].recallDataArrive(line, c.node)
@@ -699,10 +724,12 @@ func (c *Ctrl) recallDataArrive(line Addr, from int) {
 		panic(fmt.Sprintf("mem: recall data for %#x in state %d", uint64(line), e.state))
 	}
 	c.settle(line)
+	c.f.Check.event(trace.KRecall, c.node, line)
 }
 
 // wbArrive handles an eviction writeback (or a writeback racing a recall).
 func (c *Ctrl) wbArrive(line Addr, from int) {
+	c.f.Check.wbLanded(from, line)
 	e := c.entry(line)
 	switch e.state {
 	case dExcl:
@@ -710,9 +737,13 @@ func (c *Ctrl) wbArrive(line Addr, from int) {
 			panic(fmt.Sprintf("mem: WB for %#x from %d but owner %d", uint64(line), from, e.owner))
 		}
 		e.state = dIdle
+		if c.f.Fault.wbToShared() {
+			e.state = dShared
+		}
 		e.owner = -1
 		c.occupy(c.f.P.MemCycles, func(sim.Time) {})
 		c.settle(line)
+		c.f.Check.event(trace.KWriteback, c.node, line)
 	case dPendR, dPendW:
 		// The recall will find nothing at the old owner; this WB carries
 		// the data instead.

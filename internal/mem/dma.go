@@ -1,5 +1,7 @@
 package mem
 
+import "alewife/internal/trace"
+
 // DMA coherence hooks used by the CMMU's bulk-transfer path. Alewife's
 // source-and-destination-coherent data transfer leaves the source and
 // destination caches consistent with their local memories and deliberately
@@ -28,10 +30,12 @@ func (c *Ctrl) DMAInvalidate(base Addr, words uint64) (cycles uint64) {
 		case Shared:
 			c.cache.SetState(line, Invalid)
 			cycles++
+			c.f.Check.event(trace.KInval, c.node, line)
 		case Exclusive:
 			c.cache.SetState(line, Invalid)
 			c.writeback(line)
 			cycles += c.f.P.MemCycles
+			c.f.Check.event(trace.KInval, c.node, line)
 		}
 	}
 	return cycles

@@ -1,0 +1,48 @@
+package mem
+
+// Fault is a deliberate protocol mutation used by the stress harness and the
+// checker's own regression tests: each flag flips exactly one transition in
+// the coherence protocol, and each must be caught by the live invariant
+// checker (mutation testing of the checker itself). A nil *Fault — the normal
+// case — injects nothing and costs one nil check per site.
+type Fault struct {
+	// DropInval makes invArrive acknowledge the invalidation without
+	// actually dropping the cached copy, leaving a stale Shared line behind.
+	// Caught by: single-writer/multiple-reader.
+	DropInval bool
+
+	// ForgetSharer makes serveRead grant a Shared copy without recording
+	// the requester in the directory's sharer list.
+	// Caught by: sharer-membership agreement.
+	ForgetSharer bool
+
+	// WrongOwner makes serveWrite on an idle entry record a different node
+	// than the one the Exclusive grant is sent to.
+	// Caught by: exclusive-owner agreement.
+	WrongOwner bool
+
+	// SkipInval makes serveWrite on a shared entry grant exclusivity
+	// immediately, without invalidating the other sharers first.
+	// Caught by: single-writer/multiple-reader.
+	SkipInval bool
+
+	// WBToShared makes wbArrive leave the entry Shared (with no sharers)
+	// instead of returning it to Idle.
+	// Caught by: directory-entry sanity.
+	WBToShared bool
+
+	// DropWriteback discards a dirty eviction's writeback after the line
+	// has left the cache: the data message never reaches the home.
+	// Caught by: lost-writeback tracking (at quiescence or on the next
+	// request for the line).
+	DropWriteback bool
+}
+
+// The nil-safe accessors keep the injection sites to one short call each.
+
+func (ft *Fault) dropInval() bool     { return ft != nil && ft.DropInval }
+func (ft *Fault) forgetSharer() bool  { return ft != nil && ft.ForgetSharer }
+func (ft *Fault) wrongOwner() bool    { return ft != nil && ft.WrongOwner }
+func (ft *Fault) skipInval() bool     { return ft != nil && ft.SkipInval }
+func (ft *Fault) wbToShared() bool    { return ft != nil && ft.WBToShared }
+func (ft *Fault) dropWriteback() bool { return ft != nil && ft.DropWriteback }

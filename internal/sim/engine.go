@@ -104,6 +104,23 @@ func (e *Engine) Run() {
 	}
 }
 
+// RunLimit executes at most max events in time order, stopping early on an
+// empty queue or Halt. It reports whether the queue drained: false means the
+// budget was exhausted first — the caller (e.g. the protocol fuzzer, whose
+// broken-protocol mutations can livelock) should treat the run as stuck.
+func (e *Engine) RunLimit(max uint64) bool {
+	e.halted = false
+	for n := uint64(0); n < max; n++ {
+		if len(e.pq) == 0 || e.halted {
+			return true
+		}
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return len(e.pq) == 0
+}
+
 // RunUntil executes events up to and including time t, leaving later events
 // queued. The clock ends at t even if the queue drains earlier.
 func (e *Engine) RunUntil(t Time) {

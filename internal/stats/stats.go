@@ -42,6 +42,8 @@ const (
 	BarrierEpisodes  = "rts.barriers"
 	LockAcquisitions = "rts.lock_acquisitions"
 	LockSpins        = "rts.lock_spins"
+	CheckViolations  = "check.violations"
+	StressOps        = "stress.ops"
 )
 
 // Set is a group of counters for one scope (a node, or the machine).

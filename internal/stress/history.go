@@ -1,0 +1,97 @@
+package stress
+
+import (
+	"fmt"
+
+	"alewife/internal/mem"
+	"alewife/internal/sim"
+)
+
+// HistOp is one observed load or store: the executor appends one record, in
+// global execution order, for every tracked access the moment its value
+// touches the authoritative store. Every store carries a value unique across
+// the run, so a load's result identifies exactly which store it observed.
+type HistOp struct {
+	Node  int
+	Loc   mem.Addr
+	Write bool
+	Val   uint64
+	At    sim.Time
+}
+
+func (h HistOp) String() string {
+	k := "load "
+	if h.Write {
+		k = "store"
+	}
+	return fmt.Sprintf("cycle %-8d n%-3d %s %#x = %#x", h.At, h.Node, k, uint64(h.Loc), h.Val)
+}
+
+// CheckHistory verifies that an observed history is sequentially consistent
+// per location: for every location there is a serialization of its writes
+// (the order their values reached the store) such that
+//
+//   - every read returns the initial value (0) or the value of some write to
+//     that location that precedes the read in the history (writes are
+//     uniquely identified by value — duplicates are themselves a violation);
+//   - each node's view of a location moves monotonically forward through the
+//     write serialization: having observed write k, a node's later reads may
+//     not return write j < k;
+//   - a node's read after its own write to the location returns that write
+//     or a later one (read-own-write).
+//
+// It returns every violation found, formatted with the op that exposed it.
+func CheckHistory(ops []HistOp) []string {
+	var bad []string
+	// Per location: the write serialization index of each value, and each
+	// node's observation floor (latest serialization index it has seen).
+	writeIdx := make(map[mem.Addr]map[uint64]int)
+	writeCnt := make(map[mem.Addr]int)
+	floor := make(map[mem.Addr]map[int]int)
+
+	for i, op := range ops {
+		if op.Write {
+			wi := writeIdx[op.Loc]
+			if wi == nil {
+				wi = make(map[uint64]int)
+				writeIdx[op.Loc] = wi
+			}
+			if prev, dup := wi[op.Val]; dup {
+				bad = append(bad, fmt.Sprintf("history[%d] %v: duplicate write value (first at write #%d) — writes not serializable by value", i, op, prev))
+				continue
+			}
+			idx := writeCnt[op.Loc]
+			wi[op.Val] = idx
+			writeCnt[op.Loc] = idx + 1
+			// The writer has certainly observed its own write.
+			fl := floor[op.Loc]
+			if fl == nil {
+				fl = make(map[int]int)
+				floor[op.Loc] = fl
+			}
+			fl[op.Node] = idx
+			continue
+		}
+		// Read: identify the write it observed.
+		idx := -1 // initial value
+		if op.Val != 0 {
+			wi, ok := writeIdx[op.Loc][op.Val]
+			if !ok {
+				bad = append(bad, fmt.Sprintf("history[%d] %v: read returned a value never written to the location", i, op))
+				continue
+			}
+			idx = wi
+		}
+		fl := floor[op.Loc]
+		if fl == nil {
+			fl = make(map[int]int)
+			floor[op.Loc] = fl
+		}
+		if prev, seen := fl[op.Node]; seen && idx < prev {
+			bad = append(bad, fmt.Sprintf("history[%d] %v: read went backward — node had observed write #%d of the location, now sees #%d", i, op, prev, idx))
+			continue
+		}
+		fl[op.Node] = idx
+	}
+	return bad
+}

@@ -1,0 +1,98 @@
+package stress
+
+// Shrink minimizes a failing program: it repeatedly re-executes candidate
+// reductions (prefix truncation, then per-node chunk deletion at halving
+// granularity) and keeps any candidate that still fails. Execution is
+// deterministic, so the result is too. It returns the smallest failing
+// program found and its Result; budget caps the number of re-executions
+// (<=0 picks a default). The input program must fail under cfg.
+func Shrink(cfg Config, prog [][]Op, budget int) ([][]Op, Result) {
+	cfg.fill()
+	if budget <= 0 {
+		budget = 200
+	}
+	best := prog
+	bestRes := Execute(cfg, best)
+	if !bestRes.Failed() {
+		return best, bestRes
+	}
+	try := func(cand [][]Op) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		r := Execute(cfg, cand)
+		if r.Failed() {
+			best, bestRes = cand, r
+			return true
+		}
+		return false
+	}
+
+	// Phase 1: halve the global prefix while the failure survives.
+	maxLen := 0
+	for _, ops := range best {
+		if len(ops) > maxLen {
+			maxLen = len(ops)
+		}
+	}
+	for k := maxLen / 2; k >= 1; k /= 2 {
+		if !try(truncate(best, k)) {
+			break
+		}
+	}
+
+	// Phase 2: per-node chunk deletion, chunk size halving down to 1.
+	for size := maxOps(best) / 2; size >= 1 && budget > 0; size /= 2 {
+		for n := 0; n < len(best) && budget > 0; n++ {
+			for off := 0; off < len(best[n]); {
+				cand := cut(best, n, off, size)
+				if cand != nil && try(cand) {
+					continue // the same offset now holds the next chunk
+				}
+				off += size
+			}
+		}
+	}
+	return best, bestRes
+}
+
+func maxOps(prog [][]Op) int {
+	m := 0
+	for _, ops := range prog {
+		if len(ops) > m {
+			m = len(ops)
+		}
+	}
+	return m
+}
+
+// truncate keeps the first k ops of every node's stream.
+func truncate(prog [][]Op, k int) [][]Op {
+	out := make([][]Op, len(prog))
+	for i, ops := range prog {
+		if len(ops) > k {
+			ops = ops[:k]
+		}
+		out[i] = ops
+	}
+	return out
+}
+
+// cut removes prog[n][off:off+size], returning nil when the cut is empty.
+func cut(prog [][]Op, n, off, size int) [][]Op {
+	if off >= len(prog[n]) {
+		return nil
+	}
+	end := off + size
+	if end > len(prog[n]) {
+		end = len(prog[n])
+	}
+	out := make([][]Op, len(prog))
+	copy(out, prog)
+	ops := make([]Op, 0, len(prog[n])-(end-off))
+	ops = append(ops, prog[n][:off]...)
+	ops = append(ops, prog[n][end:]...)
+	out[n] = ops
+	return out
+}

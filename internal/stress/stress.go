@@ -1,0 +1,201 @@
+// Package stress is the protocol stress subsystem: a deterministic coherence
+// fuzzer for the memory system and network interface. A seeded generator
+// drives N simulated processors through adversarial mixes of loads, stores,
+// atomics, prefetches, DMA copies and active messages over a small set of
+// contended lines (hot homes, false sharing, eviction pressure on a tiny
+// cache, LimitLESS overflow), while three independent oracles watch the run:
+//
+//   - the live invariant checker (mem.LiveChecker, cmmu.Checker) validates
+//     every protocol state transition as it happens;
+//   - the history checker verifies the observed load/store history is
+//     sequentially consistent per location;
+//   - quiescence checks (mem.Fabric.CheckConsistency plus lost-writeback
+//     accounting) sweep the final state.
+//
+// Everything is deterministic: the same seed produces the same op streams,
+// the same interleaving, and — when something breaks — the same violation at
+// the same cycle, so every failure is a one-line repro
+// (`alewife-stress -seed 0x…`). Shrink minimizes a failing program.
+package stress
+
+import (
+	"math/rand"
+
+	"alewife/internal/cmmu"
+	"alewife/internal/mem"
+)
+
+// OpKind classifies one generated operation.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead     OpKind = iota // load a hot word
+	OpWrite                  // store a unique value to a hot word
+	OpFetchAdd               // atomic add on a contended counter
+	OpPrefetch               // non-binding prefetch of a hot line (Arg&1: exclusive)
+	OpSend                   // active message; handler DMA-storebacks to the mailbox
+	OpDMA                    // bulk message gathering a hot line by DMA
+	OpReadMail               // load this node's mailbox slot for sender Dst
+	OpMask                   // mask interrupts for Arg cycles
+	OpCompute                // local compute for Arg cycles (desynchronizes nodes)
+	opKinds
+)
+
+func (k OpKind) String() string {
+	names := [...]string{"read", "write", "fetchadd", "prefetch", "send",
+		"dma", "readmail", "mask", "compute"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "op?"
+}
+
+// Op is one generated operation in a node's program.
+type Op struct {
+	Kind OpKind
+	Loc  int    // hot word index (OpRead/OpWrite/OpPrefetch) or counter index (OpFetchAdd)
+	Dst  int    // peer node (OpSend/OpDMA), or sender slot (OpReadMail)
+	Arg  uint64 // cycles (OpMask/OpCompute), exclusive flag (OpPrefetch)
+}
+
+// Config parameterizes one stress run. The zero value is unusable; call
+// DefaultConfig.
+type Config struct {
+	Nodes int    // simulated processors
+	Ops   int    // operations per node
+	Lines int    // contended cache lines (two falsely-shared words each)
+	Seed  uint64 // generator seed; the whole run is a pure function of it
+
+	// MaxEvents bounds engine events so broken-protocol mutations that
+	// livelock still terminate; 0 picks a budget scaled to Nodes*Ops.
+	MaxEvents uint64
+	// TraceCap sizes the event ring kept for failure reports.
+	TraceCap int
+
+	// MemFault and CMMUFault inject deliberate protocol mutations; used by
+	// the checker regression tests (nil for real fuzzing).
+	MemFault  *mem.Fault
+	CMMUFault *cmmu.Fault
+}
+
+// DefaultConfig returns the standard adversarial small machine: 8 nodes, a
+// 4-line direct-mapped cache (relentless eviction pressure), 2 LimitLESS
+// hardware pointers (overflow with three sharers), 6 hot lines aliasing in
+// 4 cache sets.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Nodes:    8,
+		Ops:      2000,
+		Lines:    6,
+		Seed:     seed,
+		TraceCap: 256,
+	}
+}
+
+func (cfg *Config) fill() {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 8
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 2000
+	}
+	if cfg.Lines <= 0 {
+		cfg.Lines = 6
+	}
+	if cfg.TraceCap <= 0 {
+		cfg.TraceCap = 256
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 400*uint64(cfg.Nodes)*uint64(cfg.Ops) + 1_000_000
+	}
+}
+
+// counters returns how many contended FetchAdd counters a config uses.
+func (cfg *Config) counters() int {
+	n := cfg.Lines / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
+// splitmix64 decorrelates per-node generator streams from one seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Generate produces the per-node op streams for a config. It is a pure
+// function of the config: the same seed always yields identical streams,
+// independent of any simulation state (the replay guarantee rests on this).
+func Generate(cfg Config) [][]Op {
+	cfg.fill()
+	prog := make([][]Op, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		rng := rand.New(rand.NewSource(int64(splitmix64(cfg.Seed ^ uint64(n)*0x9e3779b97f4a7c15 ^ 0xa5a5))))
+		ops := make([]Op, cfg.Ops)
+		for i := range ops {
+			ops[i] = genOp(cfg, n, rng)
+		}
+		prog[n] = ops
+	}
+	return prog
+}
+
+func genOp(cfg Config, node int, rng *rand.Rand) Op {
+	words := cfg.Lines * mem.LineWords
+	peer := func() int {
+		if cfg.Nodes == 1 {
+			return 0
+		}
+		d := rng.Intn(cfg.Nodes - 1)
+		if d >= node {
+			d++
+		}
+		return d
+	}
+	// Hot-word choice is skewed: half the traffic hammers the first two
+	// lines (hot homes + false sharing), the rest spreads over all lines
+	// (eviction pressure + LimitLESS width).
+	hotWord := func() int {
+		if rng.Intn(2) == 0 {
+			return rng.Intn(2 * mem.LineWords)
+		}
+		return rng.Intn(words)
+	}
+	switch w := rng.Intn(100); {
+	case w < 28:
+		return Op{Kind: OpRead, Loc: hotWord()}
+	case w < 52:
+		return Op{Kind: OpWrite, Loc: hotWord()}
+	case w < 60:
+		return Op{Kind: OpFetchAdd, Loc: rng.Intn(cfg.counters())}
+	case w < 68:
+		return Op{Kind: OpPrefetch, Loc: hotWord(), Arg: uint64(rng.Intn(2))}
+	case w < 78:
+		return Op{Kind: OpSend, Dst: peer()}
+	case w < 84:
+		return Op{Kind: OpDMA, Dst: peer(), Loc: rng.Intn(cfg.Lines)}
+	case w < 90:
+		return Op{Kind: OpReadMail, Dst: rng.Intn(cfg.Nodes)}
+	case w < 93:
+		return Op{Kind: OpMask, Arg: uint64(10 + rng.Intn(200))}
+	default:
+		return Op{Kind: OpCompute, Arg: uint64(1 + rng.Intn(100))}
+	}
+}
+
+// CountOps sums the ops in a program (shrink reporting).
+func CountOps(prog [][]Op) int {
+	n := 0
+	for _, ops := range prog {
+		n += len(ops)
+	}
+	return n
+}

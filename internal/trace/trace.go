@@ -29,12 +29,14 @@ const (
 	KDispatch              // thread dispatched; Arg = thread id
 	KSuspend               // thread suspended; Arg = thread id
 	KBarrier               // barrier episode completed; Arg = epoch
+	KCheckFail             // invariant checker fired; Arg = line address or 0
 	kMax
 )
 
 var kindNames = [...]string{
 	"miss", "fill", "inval", "recall", "writeback",
 	"msg-send", "msg-recv", "steal", "dispatch", "suspend", "barrier",
+	"check-fail",
 }
 
 func (k Kind) String() string {
