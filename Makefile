@@ -4,10 +4,16 @@
 #                  then a protocol stress smoke (8 seeds, 2000 ops/node,
 #                  live invariants + per-location SC history checking)
 #   make stress    the longer fuzz run used before cutting a release
+#   make perf      fixed workload suite -> BENCH_sim.json (ops/sec,
+#                  wall-clock, allocs/op); later PRs gate on regressions
+#
+# Batch targets pass -parallel 0 (one worker per core): every seed and
+# experiment is a self-contained simulation, and output is buffered and
+# emitted in serial order, so results are byte-identical at any width.
 
 GO ?= go
 
-.PHONY: check build vet test stress-smoke stress bench
+.PHONY: check build vet test stress-smoke stress bench perf
 
 check: build vet test stress-smoke
 
@@ -21,10 +27,13 @@ test:
 	$(GO) test -race ./...
 
 stress-smoke:
-	$(GO) run ./cmd/alewife-stress -ops 2000 -seeds 8
+	$(GO) run ./cmd/alewife-stress -ops 2000 -seeds 8 -parallel 0
 
 stress:
-	$(GO) run ./cmd/alewife-stress -ops 5000 -seeds 64
+	$(GO) run ./cmd/alewife-stress -ops 5000 -seeds 64 -parallel 0
 
 bench:
-	$(GO) run ./cmd/alewife-bench -all
+	$(GO) run ./cmd/alewife-bench -all -parallel 0
+
+perf:
+	$(GO) run ./cmd/alewife-perf

@@ -5,7 +5,11 @@
 //
 //	alewife-bench -list
 //	alewife-bench -experiment fig7
-//	alewife-bench -all [-nodes 64] [-quick]
+//	alewife-bench -all [-nodes 64] [-quick] [-parallel 8]
+//
+// Every experiment (and every sweep point inside one) is a self-contained
+// simulation, so -parallel fans them out across cores; results are emitted
+// in the serial order, byte-identical to a serial run.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 
 	"alewife/internal/bench"
+	"alewife/internal/sim/fanout"
 )
 
 func main() {
@@ -23,9 +28,10 @@ func main() {
 	nodes := flag.Int("nodes", 64, "number of processors")
 	quick := flag.Bool("quick", false, "trimmed parameter sweeps")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files to this directory")
+	parallel := flag.Int("parallel", 1, "worker goroutines for independent simulations (0 = all cores); output order is unchanged")
 	flag.Parse()
 
-	cfg := bench.Config{Nodes: *nodes, Quick: *quick, CSVDir: *csvDir}
+	cfg := bench.Config{Nodes: *nodes, Quick: *quick, CSVDir: *csvDir, Parallel: fanout.Workers(*parallel)}
 	switch {
 	case *list:
 		for _, e := range bench.Experiments() {

@@ -1,0 +1,230 @@
+// Command alewife-perf runs a fixed simulator workload suite and writes a
+// machine-readable perf snapshot (BENCH_sim.json by default): wall-clock,
+// throughput and allocation rate for the engine's hot paths, plus
+// serial-vs-parallel wall-clock for the batch workloads. Later PRs gate on
+// this file — a hot-path regression shows up as ops_per_sec dropping or
+// allocs_per_op rising against the committed snapshot.
+//
+// Usage:
+//
+//	alewife-perf                  # full suite, writes BENCH_sim.json
+//	alewife-perf -quick -out -    # trimmed suite to stdout
+//	make perf                     # the Makefile entry point
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"alewife/internal/apps"
+	"alewife/internal/bench"
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/sim"
+	"alewife/internal/sim/fanout"
+	"alewife/internal/stress"
+)
+
+// Metric is one workload's measurement. Ops is the workload's natural unit
+// (events, context switches, stress ops, simulated cycles — named in Unit).
+type Metric struct {
+	Name        string  `json:"name"`
+	Unit        string  `json:"unit"`
+	Ops         int64   `json:"ops"`
+	WallNS      int64   `json:"wall_ns"`
+	NSPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// ParallelMetric compares one batch workload serial vs fanned-out.
+type ParallelMetric struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	SerialNS   int64   `json:"serial_ns"`
+	ParallelNS int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Snapshot is the BENCH_sim.json schema.
+type Snapshot struct {
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	CPUs      int              `json:"cpus"`
+	Quick     bool             `json:"quick"`
+	Workloads []Metric         `json:"workloads"`
+	Parallel  []ParallelMetric `json:"parallel"`
+}
+
+// measure times fn and attributes wall and allocations to ops units.
+// Workloads run on this goroutine only, so a MemStats delta is exact.
+func measure(name, unit string, fn func() int64) Metric {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ops := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	m := Metric{Name: name, Unit: unit, Ops: ops, WallNS: wall.Nanoseconds()}
+	if ops > 0 {
+		m.NSPerOp = float64(wall.Nanoseconds()) / float64(ops)
+		m.OpsPerSec = float64(ops) / wall.Seconds()
+		m.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+		m.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	}
+	return m
+}
+
+// eventChurn drives a standing population of self-rescheduling timers — the
+// engine's purest hot path — for total events.
+func eventChurn(total int64) int64 {
+	e := sim.NewEngine()
+	const standing = 512
+	periods := [...]uint64{1, 2, 3, 5, 7, 11, 13, 1024}
+	remaining := total
+	for i := 0; i < standing; i++ {
+		d := periods[i%len(periods)]
+		var fn func()
+		fn = func() {
+			remaining--
+			if remaining > 0 {
+				e.After(d, fn)
+			} else {
+				e.Halt()
+			}
+		}
+		e.After(d, fn)
+	}
+	e.Run()
+	return total
+}
+
+// contextSwitch ping-pongs one context through n Sleep round trips.
+func contextSwitch(n int64) int64 {
+	e := sim.NewEngine()
+	e.Spawn("perf", 0, func(c *sim.Context) {
+		for i := int64(0); i < n; i++ {
+			c.Sleep(1)
+		}
+	})
+	e.Run()
+	return n
+}
+
+// stressSeed runs one full fuzzer seed and reports executed stress ops.
+func stressSeed(ops int) int64 {
+	cfg := stress.DefaultConfig(1)
+	cfg.Ops = ops
+	res := stress.Run(cfg)
+	if res.Failed() {
+		fmt.Fprint(os.Stderr, res.Report())
+		os.Exit(1)
+	}
+	return res.TotalOps
+}
+
+// jacobi runs the paper's relaxation kernel and reports simulated cycles —
+// engine throughput in sim-cycles per wall second.
+func jacobi(nodes, grid, iters int) int64 {
+	m := machine.New(machine.DefaultConfig(nodes))
+	rt := core.NewDefault(m, core.ModeHybrid)
+	apps.Jacobi(rt, grid, iters)
+	return int64(m.Eng.Now())
+}
+
+// compare times a batch workload serial then fanned out over workers.
+func compare(name string, workers int, run func(workers int)) ParallelMetric {
+	s := time.Now()
+	run(1)
+	serial := time.Since(s)
+	p := time.Now()
+	run(workers)
+	par := time.Since(p)
+	return ParallelMetric{
+		Name: name, Workers: workers,
+		SerialNS: serial.Nanoseconds(), ParallelNS: par.Nanoseconds(),
+		Speedup: serial.Seconds() / par.Seconds(),
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output path ('-' for stdout)")
+	quick := flag.Bool("quick", false, "trimmed workloads (CI smoke)")
+	parallel := flag.Int("parallel", 0, "workers for the parallel comparisons (0 = all cores)")
+	flag.Parse()
+
+	churnN, switchN, seedOps := int64(2_000_000), int64(200_000), 2000
+	batchSeeds, benchNodes := 16, 16
+	if *quick {
+		churnN, switchN, seedOps = 500_000, 50_000, 500
+		batchSeeds = 8
+	}
+	workers := fanout.Workers(*parallel)
+
+	snap := Snapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Quick:     *quick,
+	}
+	snap.Workloads = []Metric{
+		measure("event-churn", "events", func() int64 { return eventChurn(churnN) }),
+		measure("context-switch", "switches", func() int64 { return contextSwitch(switchN) }),
+		measure("stress-seed", "stress-ops", func() int64 { return stressSeed(seedOps) }),
+		measure("jacobi-32x32x8", "sim-cycles", func() int64 { return jacobi(benchNodes, 32, 8) }),
+	}
+
+	runSeeds := func(w int) {
+		fanout.Run(batchSeeds, w, func(i int) int64 {
+			cfg := stress.DefaultConfig(uint64(i))
+			cfg.Ops = seedOps
+			return stress.Run(cfg).TotalOps
+		})
+	}
+	runBench := func(w int) {
+		cfg := bench.Config{Nodes: benchNodes, Quick: true, Parallel: w}
+		bench.RunAll(cfg, discard{})
+	}
+	snap.Parallel = []ParallelMetric{
+		compare(fmt.Sprintf("stress-%d-seeds", batchSeeds), workers, runSeeds),
+		compare("bench-all-quick", workers, runBench),
+	}
+
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, m := range snap.Workloads {
+		fmt.Printf("%-16s %12.1f %s/s  %8.2f ns/op  %6.2f allocs/op\n",
+			m.Name, m.OpsPerSec, m.Unit, m.NSPerOp, m.AllocsPerOp)
+	}
+	for _, p := range snap.Parallel {
+		fmt.Printf("%-16s serial %8.2fs  parallel(%d) %8.2fs  speedup %.2fx\n",
+			p.Name, float64(p.SerialNS)/1e9, p.Workers, float64(p.ParallelNS)/1e9, p.Speedup)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// discard swallows experiment output during the timing comparison.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -6,11 +6,15 @@
 // Usage:
 //
 //	alewife-stress -ops 5000 -seeds 64        # fuzz 64 seeds
+//	alewife-stress -seeds 64 -parallel 8      # same seeds, 8 workers
 //	alewife-stress -seed 0x2a                 # replay one failing seed
 //	alewife-stress -seed 0x2a -shrink         # and minimize the program
 //
 // Every failure prints a one-line repro; re-running it reproduces the
-// identical violation at the identical cycle.
+// identical violation at the identical cycle. Each seed is a fully
+// self-contained simulation, so -parallel fans seeds out across cores;
+// per-seed output is buffered and printed in seed order, byte-identical
+// to a serial run.
 package main
 
 import (
@@ -18,9 +22,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"alewife/internal/cmmu"
 	"alewife/internal/mem"
+	"alewife/internal/sim/fanout"
 	"alewife/internal/stress"
 )
 
@@ -44,6 +50,13 @@ func faultNames() []string {
 	return names
 }
 
+// seedResult is one seed's buffered outcome, printed in seed order.
+type seedResult struct {
+	out    string
+	failed bool
+	ops    int64
+}
+
 func main() {
 	seed := flag.Uint64("seed", 0, "base seed (a run is a pure function of its seed)")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run")
@@ -52,6 +65,7 @@ func main() {
 	lines := flag.Int("lines", 6, "contended cache lines")
 	shrink := flag.Bool("shrink", false, "minimize failing programs before reporting")
 	fault := flag.String("fault", "", "inject a protocol mutation (demos the checkers)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for independent seeds (0 = all cores); output stays in seed order")
 	verbose := flag.Bool("v", false, "print per-seed progress")
 	flag.Parse()
 
@@ -65,29 +79,37 @@ func main() {
 		inject = f
 	}
 
-	failures := 0
-	var totalOps int64
-	for i := 0; i < *seeds; i++ {
+	// Seeds share nothing — each builds its own machine and engine — so they
+	// fan out across workers; buffering keeps repro lines in seed order.
+	results := fanout.Run(*seeds, *parallel, func(i int) seedResult {
 		cfg := stress.DefaultConfig(*seed + uint64(i))
 		cfg.Ops = *ops
 		cfg.Nodes = *nodes
 		cfg.Lines = *lines
 		inject(&cfg)
 		res := stress.Run(cfg)
-		totalOps += res.TotalOps
-		if !res.Failed() {
-			if *verbose {
-				fmt.Print(res.Report())
+		var b strings.Builder
+		if res.Failed() {
+			b.WriteString(res.Report())
+			if *shrink {
+				prog, sres := stress.Shrink(cfg, stress.Generate(cfg), 0)
+				fmt.Fprintf(&b, "shrunk to %d ops (from %d); minimal repro still fails:\n",
+					stress.CountOps(prog), *ops**nodes)
+				b.WriteString(sres.Report())
 			}
-			continue
+		} else if *verbose {
+			b.WriteString(res.Report())
 		}
-		failures++
-		fmt.Print(res.Report())
-		if *shrink {
-			prog, sres := stress.Shrink(cfg, stress.Generate(cfg), 0)
-			fmt.Printf("shrunk to %d ops (from %d); minimal repro still fails:\n",
-				stress.CountOps(prog), *ops**nodes)
-			fmt.Print(sres.Report())
+		return seedResult{out: b.String(), failed: res.Failed(), ops: res.TotalOps}
+	})
+
+	failures := 0
+	var totalOps int64
+	for _, r := range results {
+		fmt.Print(r.out)
+		totalOps += r.ops
+		if r.failed {
+			failures++
 		}
 	}
 	fmt.Printf("stress: %d seeds, %d ops executed, %d failing\n", *seeds, totalOps, failures)

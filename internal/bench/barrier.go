@@ -63,15 +63,22 @@ func runBarrier(cfg Config, w io.Writer) {
 }
 
 func runBarrierArity(cfg Config, w io.Writer) {
-	arities := []int{2, 4, 8, 16}
-	fmt.Fprintf(w, "%-8s %16s %16s\n", "arity", "SM cycles", "MP cycles")
-	for _, a := range arities {
-		if a >= cfg.Nodes {
-			continue
+	var arities []int
+	for _, a := range []int{2, 4, 8, 16} {
+		if a < cfg.Nodes {
+			arities = append(arities, a)
 		}
-		sm := barrierCycles(cfg.Nodes, core.ModeSharedMemory, a, a)
-		mp := barrierCycles(cfg.Nodes, core.ModeHybrid, a, a)
-		fmt.Fprintf(w, "%-8d %16d %16d\n", a, sm, mp)
+	}
+	type point struct{ sm, mp uint64 }
+	pts := parMap(cfg, len(arities), func(i int) point {
+		return point{
+			sm: barrierCycles(cfg.Nodes, core.ModeSharedMemory, arities[i], arities[i]),
+			mp: barrierCycles(cfg.Nodes, core.ModeHybrid, arities[i], arities[i]),
+		}
+	})
+	fmt.Fprintf(w, "%-8s %16s %16s\n", "arity", "SM cycles", "MP cycles")
+	for i, p := range pts {
+		fmt.Fprintf(w, "%-8d %16d %16d\n", arities[i], p.sm, p.mp)
 	}
 }
 
@@ -80,10 +87,15 @@ func runBarrierScale(cfg Config, w io.Writer) {
 	if !cfg.Quick {
 		sizes = append(sizes, 256)
 	}
+	type point struct{ sm, mp uint64 }
+	pts := parMap(cfg, len(sizes), func(i int) point {
+		return point{
+			sm: barrierCycles(sizes[i], core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity),
+			mp: barrierCycles(sizes[i], core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity),
+		}
+	})
 	fmt.Fprintf(w, "%-8s %16s %16s %8s\n", "procs", "SM cycles", "MP cycles", "ratio")
-	for _, n := range sizes {
-		sm := barrierCycles(n, core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity)
-		mp := barrierCycles(n, core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity)
-		fmt.Fprintf(w, "%-8d %16d %16d %8.2f\n", n, sm, mp, float64(sm)/float64(mp))
+	for i, p := range pts {
+		fmt.Fprintf(w, "%-8d %16d %16d %8.2f\n", sizes[i], p.sm, p.mp, float64(p.sm)/float64(p.mp))
 	}
 }

@@ -5,7 +5,6 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 	"sort"
 
@@ -15,9 +14,10 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
-	Nodes  int    // processors (the paper uses 64)
-	Quick  bool   // trimmed sweeps for test runs
-	CSVDir string // when set, experiments also write <id>.csv files here
+	Nodes    int    // processors (the paper uses 64)
+	Quick    bool   // trimmed sweeps for test runs
+	CSVDir   string // when set, experiments also write <id>.csv files here
+	Parallel int    // worker goroutines for independent runs (0 or 1: serial)
 }
 
 // DefaultConfig matches the paper's machine size.
@@ -49,15 +49,6 @@ func Find(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
-}
-
-// RunAll executes every experiment.
-func RunAll(cfg Config, w io.Writer) {
-	for _, e := range Experiments() {
-		fmt.Fprintf(w, "==> %s: %s\n", e.ID, e.Title)
-		e.Run(cfg, w)
-		fmt.Fprintln(w)
-	}
 }
 
 // newMachine builds the standard Alewife-like machine.

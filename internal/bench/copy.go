@@ -40,12 +40,17 @@ func runFig7(cfg Config, w io.Writer) {
 	t := NewTable("fig7", "bytes",
 		"nopf_cycles", "nopf_MBps", "pf_cycles", "pf_MBps", "msg_cycles", "msg_MBps",
 		"paper_nopf", "paper_pf", "paper_msg")
-	for _, bytes := range fig7Sizes(cfg.Quick) {
+	sizes := fig7Sizes(cfg.Quick)
+	rows := parMap(cfg, len(sizes), func(si int) [3]apps.MemcpyResult {
 		var res [3]apps.MemcpyResult
 		for i, kind := range []apps.CopyKind{apps.CopyNoPrefetch, apps.CopyPrefetch, apps.CopyMessage} {
 			rt := newRT(cfg.Nodes, core.ModeHybrid)
-			res[i] = apps.Memcpy(rt, 1, bytes, kind) // neighbour node
+			res[i] = apps.Memcpy(rt, 1, sizes[si], kind) // neighbour node
 		}
+		return res
+	})
+	for si, bytes := range sizes {
+		res := rows[si]
 		paper := [3]string{"", "", ""}
 		if p, ok := fig7Paper[bytes]; ok {
 			for i := range paper {
@@ -65,7 +70,10 @@ func runFig7(cfg Config, w io.Writer) {
 
 func runFig8(cfg Config, w io.Writer) {
 	t := NewTable("fig8", "bytes", "sm_cycles", "mp_cycles", "mp_minus_copy", "mp_over_sm")
-	for _, bytes := range fig7Sizes(cfg.Quick) {
+	sizes := fig7Sizes(cfg.Quick)
+	type row struct{ sm, mp, xfer uint64 }
+	rows := parMap(cfg, len(sizes), func(si int) row {
+		bytes := sizes[si]
 		words := uint64(bytes / 8)
 		sm := apps.AccumSM(newMachine(cfg.Nodes), 1, words)
 		rt := newRT(cfg.Nodes, core.ModeHybrid)
@@ -74,9 +82,13 @@ func runFig8(cfg Config, w io.Writer) {
 		// (Figure 7's message curve), which rides just below SM.
 		rt2 := newRT(cfg.Nodes, core.ModeHybrid)
 		xfer := apps.Memcpy(rt2, 1, bytes, apps.CopyMessage)
-		t.Add(bytes, sm.Cycles, mp.Cycles,
-			int64(mp.Cycles)-int64(xfer.Cycles),
-			float64(mp.Cycles)/float64(sm.Cycles))
+		return row{sm: sm.Cycles, mp: mp.Cycles, xfer: xfer.Cycles}
+	})
+	for si, bytes := range sizes {
+		r := rows[si]
+		t.Add(bytes, r.sm, r.mp,
+			int64(r.mp)-int64(r.xfer),
+			float64(r.mp)/float64(r.sm))
 	}
 	t.Note("paper: MP ~2x slower at small blocks, ~1.3x at large; MP-copy rides just under SM")
 	t.Emit(cfg, w)

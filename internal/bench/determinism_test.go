@@ -2,10 +2,14 @@ package bench
 
 import (
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 
 	"alewife/internal/core"
 	"alewife/internal/machine"
+	"alewife/internal/sim/fanout"
+	"alewife/internal/stress"
 )
 
 // The simulator's replay guarantee: a run is a pure function of its inputs.
@@ -66,5 +70,83 @@ func TestStatsSnapshotDeterministic(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// withWorkers raises GOMAXPROCS to at least n for the duration of fn so the
+// fan-out layer spawns real concurrent workers even on a single-CPU host —
+// the parallel goldens must exercise actual goroutine interleavings (and
+// give the race detector something to watch), not the inline serial path.
+func withWorkers(n int, fn func()) {
+	old := runtime.GOMAXPROCS(0)
+	if old < n {
+		runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(old)
+	}
+	fn()
+}
+
+// TestParallelExperimentsMatchSerial is the fan-out determinism golden for
+// the bench harness: the paper's E1 (barrier) and E2 (invoke) experiments,
+// whose sweeps dispatch through parMap, must produce byte-identical output
+// with 4 workers and with none.
+func TestParallelExperimentsMatchSerial(t *testing.T) {
+	for _, id := range []string{"barrier", "barrier-scale", "invoke"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		var serial, parallel strings.Builder
+		e.Run(Config{Nodes: 16, Quick: true}, &serial)
+		withWorkers(4, func() {
+			e.Run(Config{Nodes: 16, Quick: true, Parallel: 4}, &parallel)
+		})
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, serial.String(), parallel.String())
+		}
+	}
+}
+
+// TestParallelRunAllMatchesSerial runs the whole experiment suite both ways
+// on a small machine; emission must stay in ID order and byte-identical.
+func TestParallelRunAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is not short")
+	}
+	var serial, parallel strings.Builder
+	RunAll(Config{Nodes: 4, Quick: true}, &serial)
+	withWorkers(4, func() {
+		RunAll(Config{Nodes: 4, Quick: true, Parallel: 4}, &parallel)
+	})
+	if serial.String() != parallel.String() {
+		t.Fatal("parallel RunAll output differs from serial run")
+	}
+}
+
+// TestParallelStressBatchMatchesSerial is the fuzzer-side golden: a batch
+// of stress seeds fanned out over 4 workers must report exactly what a
+// serial loop reports, seed by seed, byte for byte.
+func TestParallelStressBatchMatchesSerial(t *testing.T) {
+	const seeds = 6
+	run := func(i int) string {
+		cfg := stress.DefaultConfig(uint64(i))
+		cfg.Ops = 200
+		res := stress.Run(cfg)
+		return res.Report()
+	}
+	var serial strings.Builder
+	for i := 0; i < seeds; i++ {
+		serial.WriteString(run(i))
+	}
+	var parallel strings.Builder
+	withWorkers(4, func() {
+		for _, out := range fanout.Run(seeds, 4, run) {
+			parallel.WriteString(out)
+		}
+	})
+	if serial.String() != parallel.String() {
+		t.Fatalf("parallel stress batch differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
 	}
 }

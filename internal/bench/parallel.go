@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"alewife/internal/sim/fanout"
+)
+
+// Every experiment builds fresh machines and runs them to completion — no
+// state is shared between sweep points or between experiments — so both
+// levels fan out safely across cores (sim's engine-confinement rule).
+// Results are always collected and emitted in the serial order, so the text
+// output, the CSVs, and the determinism goldens are byte-identical whatever
+// Config.Parallel says.
+
+// parMap runs job(0..n-1) with cfg.Parallel workers and returns results in
+// index order. The unit of work is one self-contained measurement (a sweep
+// point, a mode, a machine size). The zero Config stays serial.
+func parMap[T any](cfg Config, n int, job func(i int) T) []T {
+	w := cfg.Parallel
+	if w == 0 {
+		w = 1
+	}
+	return fanout.Run(n, w, job)
+}
+
+// RunAll executes every experiment. With cfg.Parallel > 1 experiments run
+// concurrently into private buffers; emission order stays ID order.
+func RunAll(cfg Config, w io.Writer) {
+	exps := Experiments()
+	outs := parMap(cfg, len(exps), func(i int) []byte {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "==> %s: %s\n", exps[i].ID, exps[i].Title)
+		exps[i].Run(cfg, &b)
+		fmt.Fprintln(&b)
+		return b.Bytes()
+	})
+	for _, o := range outs {
+		w.Write(o)
+	}
+}

@@ -45,21 +45,30 @@ func runFig9(cfg Config, w io.Writer) {
 	fmt.Fprintf(w, "grain, depth %d (%d leaves), %d processors; speedup vs 1-node run\n",
 		depth, 1<<depth, cfg.Nodes)
 	t := NewTable("fig9", "l", "seq_ms", "sm_speedup", "hyb_speedup", "hyb_over_sm", "paper_sm", "paper_hyb")
-	for _, l := range grainDelays(cfg.Quick) {
-		seq := apps.GrainSequential(newMachine(1), depth, l)
-		sm := apps.GrainParallel(newRT(cfg.Nodes, core.ModeSharedMemory), depth, l)
-		hy := apps.GrainParallel(newRT(cfg.Nodes, core.ModeHybrid), depth, l)
-		if sm.Sum != seq.Sum || hy.Sum != seq.Sum {
+	delays := grainDelays(cfg.Quick)
+	type row struct{ seq, sm, hy apps.GrainResult }
+	rows := parMap(cfg, len(delays), func(i int) row {
+		l := delays[i]
+		r := row{
+			seq: apps.GrainSequential(newMachine(1), depth, l),
+			sm:  apps.GrainParallel(newRT(cfg.Nodes, core.ModeSharedMemory), depth, l),
+			hy:  apps.GrainParallel(newRT(cfg.Nodes, core.ModeHybrid), depth, l),
+		}
+		if r.sm.Sum != r.seq.Sum || r.hy.Sum != r.seq.Sum {
 			panic("bench: grain results diverge")
 		}
-		spSM := float64(seq.Cycles) / float64(sm.Cycles)
-		spHy := float64(seq.Cycles) / float64(hy.Cycles)
+		return r
+	})
+	for i, l := range delays {
+		r := rows[i]
+		spSM := float64(r.seq.Cycles) / float64(r.sm.Cycles)
+		spHy := float64(r.seq.Cycles) / float64(r.hy.Cycles)
 		paperSM, paperHy := "", ""
 		if p, ok := fig9Paper[l]; ok && depth == 12 {
 			paperSM = fmt.Sprintf("%.1f", p[0])
 			paperHy = fmt.Sprintf("%.1f", p[1])
 		}
-		t.Add(l, micros(seq.Cycles)/1000, spSM, spHy, spHy/spSM, paperSM, paperHy)
+		t.Add(l, micros(r.seq.Cycles)/1000, spSM, spHy, spHy/spSM, paperSM, paperHy)
 	}
 	t.Emit(cfg, w)
 }
@@ -77,16 +86,25 @@ func aqTols(quick bool) []float64 {
 func runFig10(cfg Config, w io.Writer) {
 	fmt.Fprintf(w, "aq on %d processors; speedup vs 1-node run\n", cfg.Nodes)
 	t := NewTable("fig10", "tol", "cells", "seq_ms", "sm_speedup", "hyb_speedup", "hyb_over_sm")
-	for _, tol := range aqTols(cfg.Quick) {
-		seq := apps.AQSequential(newMachine(1), tol)
-		sm := apps.AQParallel(newRT(cfg.Nodes, core.ModeSharedMemory), tol)
-		hy := apps.AQParallel(newRT(cfg.Nodes, core.ModeHybrid), tol)
-		if diff := sm.Integral - seq.Integral; diff > 1e-9 || diff < -1e-9 {
+	tols := aqTols(cfg.Quick)
+	type row struct{ seq, sm, hy apps.AQResult }
+	rows := parMap(cfg, len(tols), func(i int) row {
+		tol := tols[i]
+		r := row{
+			seq: apps.AQSequential(newMachine(1), tol),
+			sm:  apps.AQParallel(newRT(cfg.Nodes, core.ModeSharedMemory), tol),
+			hy:  apps.AQParallel(newRT(cfg.Nodes, core.ModeHybrid), tol),
+		}
+		if diff := r.sm.Integral - r.seq.Integral; diff > 1e-9 || diff < -1e-9 {
 			panic("bench: aq results diverge")
 		}
-		spSM := float64(seq.Cycles) / float64(sm.Cycles)
-		spHy := float64(seq.Cycles) / float64(hy.Cycles)
-		t.Add(fmt.Sprintf("%.3g", tol), seq.Cells, micros(seq.Cycles)/1000, spSM, spHy, spHy/spSM)
+		return r
+	})
+	for i, tol := range tols {
+		r := rows[i]
+		spSM := float64(r.seq.Cycles) / float64(r.sm.Cycles)
+		spHy := float64(r.seq.Cycles) / float64(r.hy.Cycles)
+		t.Add(fmt.Sprintf("%.3g", tol), r.seq.Cells, micros(r.seq.Cycles)/1000, spSM, spHy, spHy/spSM)
 	}
 	t.Note("paper: hybrid ~2x at small problem sizes, >20%% better at ~800 ms sequential")
 	t.Emit(cfg, w)

@@ -84,14 +84,10 @@ func (c *Context) yieldToEngine() {
 
 // wakeAt arms a wake event at absolute time t for the current park
 // generation; the event is dropped if the context was resumed through
-// another path in the meantime.
+// another path in the meantime (the staleness check lives in
+// Engine.dispatch, which fires wake records without a closure).
 func (c *Context) wakeAt(t Time) {
-	g := c.gen
-	c.eng.At(t, func() {
-		if !c.done && c.gen == g {
-			c.transfer()
-		}
-	})
+	c.eng.atWake(t, c, c.gen)
 }
 
 // WaitUntil advances the context to absolute time t, letting all events and

@@ -6,47 +6,25 @@
 // logical activity runs — the engine loop, one event callback, or one
 // context — so simulation state never needs locking and runs are fully
 // deterministic: events at equal times fire in scheduling order.
+//
+// Scheduling is a pooled two-level ladder queue (see ladder.go): typed event
+// records from a free list, time-indexed buckets for the near future, a
+// sorted overflow tier for far-future timers. Steady-state scheduling is
+// allocation-free. One engine belongs to one goroutine (the one that calls
+// Run); independent engines on separate goroutines share nothing, which is
+// the confinement rule the fanout package's parallel harness relies on.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is the simulation clock in processor cycles.
 type Time = uint64
-
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
 
 // Engine is a discrete-event scheduler. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
 	now    Time
-	pq     eventHeap
+	q      ladder
 	seq    uint64
 	yield  chan struct{} // contexts hand control back to the engine here
 	nlive  int           // live (un-finished) contexts
@@ -67,7 +45,7 @@ type panicValue struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{yield: make(chan struct{}), q: newLadder()}
 }
 
 // Now returns the current simulation time.
@@ -80,27 +58,62 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+	r := e.q.get()
+	r.at, r.seq, r.fn = t, e.seq, fn
+	e.q.push(r)
+}
+
+// atWake schedules a closure-free context wake-up record (the hot path of
+// Sleep/WaitUntil/UnblockAt; see dispatch).
+func (e *Engine) atWake(t Time, c *Context, gen uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling wake at %d before now %d", t, e.now))
+	}
+	e.seq++
+	r := e.q.get()
+	r.at, r.seq, r.ctx, r.gen = t, e.seq, c, gen
+	e.q.push(r)
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.q.size }
 
 // Halt stops the run loop after the current event completes. Used by drivers
 // that reached their measurement and do not care about draining the queue.
 func (e *Engine) Halt() { e.halted = true }
 
+// dispatch advances the clock to r and fires it. The record is recycled
+// before the payload runs so the callback can immediately reuse it.
+func (e *Engine) dispatch(r *event) {
+	e.now = r.at
+	if c := r.ctx; c != nil {
+		gen := r.gen
+		e.q.put(r)
+		// A wake is stale — and dropped — if the context finished or was
+		// resumed through another path since the wake was armed.
+		if !c.done && c.gen == gen {
+			c.transfer()
+		}
+		return
+	}
+	fn := r.fn
+	e.q.put(r)
+	fn()
+}
+
 // Run executes events in time order until the queue is empty or Halt is
 // called. It must be called from the goroutine that created the engine.
 func (e *Engine) Run() {
 	e.halted = false
-	for len(e.pq) > 0 && !e.halted {
-		ev := heap.Pop(&e.pq).(*event)
-		e.now = ev.at
-		ev.fn()
+	for !e.halted {
+		r := e.q.next(0, false)
+		if r == nil {
+			return
+		}
+		e.dispatch(r)
 	}
 }
 
@@ -111,24 +124,28 @@ func (e *Engine) Run() {
 func (e *Engine) RunLimit(max uint64) bool {
 	e.halted = false
 	for n := uint64(0); n < max; n++ {
-		if len(e.pq) == 0 || e.halted {
+		if e.halted {
 			return true
 		}
-		ev := heap.Pop(&e.pq).(*event)
-		e.now = ev.at
-		ev.fn()
+		r := e.q.next(0, false)
+		if r == nil {
+			return true
+		}
+		e.dispatch(r)
 	}
-	return len(e.pq) == 0
+	return e.q.size == 0
 }
 
 // RunUntil executes events up to and including time t, leaving later events
 // queued. The clock ends at t even if the queue drains earlier.
 func (e *Engine) RunUntil(t Time) {
 	e.halted = false
-	for len(e.pq) > 0 && !e.halted && e.pq[0].at <= t {
-		ev := heap.Pop(&e.pq).(*event)
-		e.now = ev.at
-		ev.fn()
+	for !e.halted {
+		r := e.q.next(t, true)
+		if r == nil {
+			break
+		}
+		e.dispatch(r)
 	}
 	if e.now < t {
 		e.now = t

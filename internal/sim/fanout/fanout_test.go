@@ -1,0 +1,71 @@
+package fanout
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrderMatchesSerial(t *testing.T) {
+	job := func(i int) int { return i * i }
+	serial := Run(100, 1, job)
+	for _, w := range []int{2, 3, 8, 64} {
+		par := Run(100, w, job)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: result[%d]=%d, want %d", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("empty run returned %v", got)
+	}
+}
+
+func TestRunEachJobOnce(t *testing.T) {
+	var calls [257]int32
+	Run(len(calls), 7, func(i int) struct{} {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ in, want int }{
+		{0, max}, {-3, max}, {1, 1}, {max + 100, max},
+	} {
+		if got := Workers(tc.in); got != tc.want {
+			t.Errorf("Workers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >1 CPU to observe concurrency")
+	}
+	var cur, peak int32
+	Run(64, 2, func(i int) struct{} {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+		return struct{}{}
+	})
+	if peak > 2 {
+		t.Fatalf("peak concurrency %d with 2 workers", peak)
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import "math/bits"
+
+// The event queue is a two-level ladder (calendar) queue tuned for the
+// simulator's traffic: almost every scheduled delay is a small latency —
+// cache fills, network hops, handler timers — so the near tier is a ring of
+// one-cycle buckets covering a ladderWindow-cycle horizon, indexed directly
+// by time. Events beyond the horizon (long Elapse calls, watchdogs) go to a
+// typed min-heap overflow tier and migrate into the ring as the cursor
+// approaches them. Event records are typed (no interface boxing) and pooled
+// on a free list, so steady-state scheduling performs zero allocations.
+//
+// Ordering contract (the determinism goldens depend on it): events fire in
+// ascending (at, seq) order, where seq is assignment order. Within a bucket
+// every record shares one timestamp (the ring maps each in-window cycle to
+// exactly one bucket), so bucket FIFO order is seq order as long as records
+// enter the bucket in ascending seq. Direct pushes do so because simulation
+// is single-threaded; migrated records do so because the overflow heap pops
+// in (at, seq) order and migration is drained eagerly — before any direct
+// near-tier push (see At) and at the top of every pop — so a direct push can
+// never slip in ahead of a lower-seq record still parked in overflow.
+
+const (
+	// ladderWindow is the near-tier horizon in cycles (power of two).
+	// 4 KiCycles covers every latency the machine model schedules and the
+	// longest compute/backoff delays the workloads use; anything larger is
+	// a far-future timer and takes the overflow tier.
+	ladderWindow = 4096
+	ladderMask   = ladderWindow - 1
+)
+
+// event is one pooled scheduler record. Exactly one of fn/ctx is set: fn for
+// plain callbacks, ctx+gen for context wake-ups (kept typed and closure-free
+// because Sleep/WaitUntil arm one of these per context switch).
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	ctx  *Context
+	gen  uint64
+	next *event // bucket FIFO link / free-list link
+}
+
+// bucket is a FIFO of events sharing one timestamp.
+type bucket struct{ head, tail *event }
+
+// ladder is the two-level queue. base is the cursor: every near-tier event
+// has time in [base, base+ladderWindow), every overflow event has time
+// >= base+ladderWindow (re-established eagerly as base advances).
+type ladder struct {
+	base    Time
+	buckets []bucket
+	occ     []uint64 // occupancy bitmap, one bit per bucket
+	near    int      // events in buckets
+	ovf     []*event // typed min-heap on (at, seq)
+	free    *event
+	size    int
+}
+
+func newLadder() ladder {
+	return ladder{
+		buckets: make([]bucket, ladderWindow),
+		occ:     make([]uint64, ladderWindow/64),
+	}
+}
+
+// get returns a pooled record, growing the pool a block at a time so cold
+// starts amortize to ~0 allocations per event.
+func (l *ladder) get() *event {
+	r := l.free
+	if r == nil {
+		blk := make([]event, 64)
+		for i := 1; i < len(blk)-1; i++ {
+			blk[i].next = &blk[i+1]
+		}
+		l.free = &blk[1]
+		return &blk[0]
+	}
+	l.free = r.next
+	r.next = nil
+	return r
+}
+
+// put recycles a record, dropping payload references so pooled records never
+// pin dead closures or contexts.
+func (l *ladder) put(r *event) {
+	r.fn = nil
+	r.ctx = nil
+	r.next = l.free
+	l.free = r
+}
+
+// push enqueues a record, routing by horizon. Caller has set at/seq/payload.
+func (l *ladder) push(r *event) {
+	l.size++
+	if r.at >= l.base+ladderWindow {
+		l.ovfPush(r)
+		return
+	}
+	// Drain newly-eligible overflow records first so lower-seq records
+	// parked there land in the bucket ahead of this one (ordering contract).
+	for len(l.ovf) > 0 && l.ovf[0].at < l.base+ladderWindow {
+		l.pushNear(l.ovfPop())
+	}
+	l.pushNear(r)
+}
+
+// pushNear appends to the bucket for r.at and marks it occupied.
+func (l *ladder) pushNear(r *event) {
+	idx := int(r.at & ladderMask)
+	b := &l.buckets[idx]
+	if b.head == nil {
+		b.head = r
+		l.occ[idx>>6] |= 1 << (idx & 63)
+	} else {
+		b.tail.next = r
+	}
+	b.tail = r
+	l.near++
+}
+
+// next dequeues the earliest record, or returns nil when the queue is empty
+// or (bounded) when the earliest record fires after bound. The cursor only
+// ever advances to the time of the minimum pending record, so it stays a
+// valid lower bound for At's past-scheduling check.
+func (l *ladder) next(bound Time, bounded bool) *event {
+	if l.size == 0 {
+		return nil
+	}
+	for {
+		for len(l.ovf) > 0 && l.ovf[0].at < l.base+ladderWindow {
+			l.pushNear(l.ovfPop())
+		}
+		if l.near == 0 {
+			// Everything pending is far-future: jump the cursor to the
+			// overflow minimum and let migration pull it in.
+			t := l.ovf[0].at
+			if bounded && t > bound {
+				return nil
+			}
+			l.base = t
+			continue
+		}
+		at := l.base + Time(l.nextOccupied())
+		if bounded && at > bound {
+			l.base = at
+			return nil
+		}
+		l.base = at
+		idx := int(at & ladderMask)
+		b := &l.buckets[idx]
+		r := b.head
+		b.head = r.next
+		if b.head == nil {
+			b.tail = nil
+			l.occ[idx>>6] &^= 1 << (idx & 63)
+		}
+		r.next = nil
+		l.near--
+		l.size--
+		return r
+	}
+}
+
+// nextOccupied returns the ring distance from the cursor to the first
+// occupied bucket (0 when the cursor's own bucket is occupied). Callers
+// guarantee near > 0. Cost: a handful of 64-bucket-wide bitmap words.
+func (l *ladder) nextOccupied() int {
+	cur := int(l.base & ladderMask)
+	w := cur >> 6
+	if x := l.occ[w] &^ (1<<(cur&63) - 1); x != 0 {
+		return w<<6 + bits.TrailingZeros64(x) - cur
+	}
+	for i := 1; i <= len(l.occ); i++ {
+		wi := (w + i) & (len(l.occ) - 1)
+		if x := l.occ[wi]; x != 0 {
+			d := wi<<6 + bits.TrailingZeros64(x) - cur
+			if d < 0 {
+				d += ladderWindow
+			}
+			return d
+		}
+	}
+	panic("sim: ladder occupancy bitmap empty with near > 0")
+}
+
+// ovfPush inserts into the typed overflow min-heap.
+func (l *ladder) ovfPush(r *event) {
+	h := append(l.ovf, r)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	l.ovf = h
+}
+
+// ovfPop removes and returns the overflow minimum.
+func (l *ladder) ovfPop() *event {
+	h := l.ovf
+	r := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			break
+		}
+		if c+1 < len(h) && eventLess(h[c+1], h[c]) {
+			c++
+		}
+		if !eventLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	l.ovf = h
+	return r
+}
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestLadderWindowWrap schedules events across several near-window laps so
+// the bucket ring wraps; order must stay strictly (at, seq).
+func TestLadderWindowWrap(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	var chain func()
+	hops := 0
+	chain = func() {
+		got = append(got, e.Now())
+		hops++
+		if hops < 10 {
+			e.After(ladderWindow-1, chain)
+		}
+	}
+	e.After(1, chain)
+	e.Run()
+	if len(got) != 10 {
+		t.Fatalf("ran %d hops, want 10", len(got))
+	}
+	for i, at := range got {
+		want := Time(1 + i*(ladderWindow-1))
+		if at != want {
+			t.Fatalf("hop %d at %d, want %d", i, at, want)
+		}
+	}
+}
+
+// TestLadderOverflowMigration mixes far-future timers with near events at
+// the same eventual timestamps: the overflow record was scheduled first, so
+// it must fire first when the times collide.
+func TestLadderOverflowMigration(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	const far = ladderWindow * 3
+	e.At(far, func() { order = append(order, 0) }) // overflow tier
+	e.At(far-ladderWindow+10, func() {
+		// The cursor is now close enough that `far` is inside the near
+		// window, but the lower-seq record is still parked in overflow.
+		// This push must drain it into the bucket first (eager migration)
+		// so the two fire in seq order.
+		e.At(far, func() { order = append(order, 1) })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("overflow/near same-time order = %v, want [0 1]", order)
+	}
+	if e.Now() != far {
+		t.Fatalf("clock = %d, want %d", e.Now(), far)
+	}
+}
+
+// TestLadderEmptyJump verifies the cursor jumps across a long dead zone to a
+// lone far-future event instead of scanning it bucket by bucket.
+func TestLadderEmptyJump(t *testing.T) {
+	e := NewEngine()
+	fired := Time(0)
+	e.At(10*ladderWindow+7, func() { fired = e.Now() })
+	e.Run()
+	if fired != 10*ladderWindow+7 {
+		t.Fatalf("fired at %d", fired)
+	}
+}
+
+// TestLadderRunUntilBoundary leaves exactly the post-bound events queued,
+// including ones parked in the overflow tier.
+func TestLadderRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(5, func() { ran++ })
+	e.At(ladderWindow+5, func() { ran++ })
+	e.At(5*ladderWindow, func() { ran++ })
+	e.RunUntil(ladderWindow + 5)
+	if ran != 2 || e.Pending() != 1 || e.Now() != ladderWindow+5 {
+		t.Fatalf("ran=%d pending=%d now=%d", ran, e.Pending(), e.Now())
+	}
+	e.Run()
+	if ran != 3 || e.Pending() != 0 {
+		t.Fatalf("drain ran=%d pending=%d", ran, e.Pending())
+	}
+}
+
+// TestLadderReferenceModel drives the queue with a seeded adversarial
+// schedule — bursts of same-time events, near and far delays, nested
+// scheduling from callbacks — and checks the firing order against a sorted
+// (at, seq) reference.
+func TestLadderReferenceModel(t *testing.T) {
+	type rec struct {
+		at  Time
+		seq int
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var want, got []rec
+		seq := 0
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			n := 1 + rng.Intn(8)
+			for i := 0; i < n; i++ {
+				var d uint64
+				switch rng.Intn(4) {
+				case 0:
+					d = 0 // same-cycle burst
+				case 1:
+					d = uint64(rng.Intn(16))
+				case 2:
+					d = uint64(rng.Intn(ladderWindow))
+				default:
+					d = uint64(rng.Intn(4 * ladderWindow)) // overflow tier
+				}
+				at := e.Now() + d
+				id := seq
+				seq++
+				want = append(want, rec{at, id})
+				e.At(at, func() {
+					got = append(got, rec{e.Now(), id})
+					if depth < 2 && rng.Intn(3) == 0 {
+						schedule(depth + 1)
+					}
+				})
+			}
+		}
+		schedule(0)
+		e.Run()
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d fired as %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLadderPoolReuse checks records recycle: a long run must keep the pool
+// bounded rather than growing with event count.
+func TestLadderPoolReuse(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10000 {
+			e.After(3, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+	free := 0
+	for r := e.q.free; r != nil; r = r.next {
+		free++
+	}
+	if free == 0 || free > 128 {
+		t.Fatalf("free list has %d records after run; want a small warm pool", free)
+	}
+}

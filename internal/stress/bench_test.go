@@ -1,0 +1,19 @@
+package stress
+
+import "testing"
+
+// BenchmarkSeed runs one full stress seed — generator, 8-node machine,
+// live checkers, history recording — end to end. This is the workload the
+// fuzzer repeats thousands of times, so it is the macro-level check that
+// engine-level wins survive contact with the full simulator.
+func BenchmarkSeed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(1)
+		cfg.Ops = 300
+		res := Run(cfg)
+		if res.Failed() {
+			b.Fatal(res.Report())
+		}
+	}
+}
