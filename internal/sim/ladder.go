@@ -121,9 +121,11 @@ func (l *ladder) pushNear(r *event) {
 }
 
 // next dequeues the earliest record, or returns nil when the queue is empty
-// or (bounded) when the earliest record fires after bound. The cursor only
-// ever advances to the time of the minimum pending record, so it stays a
-// valid lower bound for At's past-scheduling check.
+// or (bounded) when the earliest record fires after bound. The cursor never
+// advances past the minimum pending record or past bound — the engine's
+// clock stops at bound, so events may still legally be scheduled anywhere in
+// [bound, min-pending) and must land ahead of the cursor, not behind it in
+// the ring.
 func (l *ladder) next(bound Time, bounded bool) *event {
 	if l.size == 0 {
 		return nil
@@ -144,7 +146,12 @@ func (l *ladder) next(bound Time, bounded bool) *event {
 		}
 		at := l.base + Time(l.nextOccupied())
 		if bounded && at > bound {
-			l.base = at
+			// Clamp, don't jump: advancing to `at` would strand an event
+			// later scheduled in [bound, at) behind the cursor, delaying it
+			// by a full window lap and firing it out of (at, seq) order.
+			if bound > l.base {
+				l.base = bound
+			}
 			return nil
 		}
 		l.base = at

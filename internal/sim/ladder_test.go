@@ -87,6 +87,60 @@ func TestLadderRunUntilBoundary(t *testing.T) {
 	}
 }
 
+// TestLadderRunUntilThenScheduleEarlier interleaves RunUntil with scheduling:
+// a bound that fires nothing must not advance the cursor past the bound, or
+// an event then scheduled between the bound and the first pending event lands
+// behind the cursor and is delayed (or reordered) by a full window lap.
+func TestLadderRunUntilThenScheduleEarlier(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(100, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(50) // fires nothing; clock stops at 50
+	if e.Now() != 50 {
+		t.Fatalf("clock after empty RunUntil = %d, want 50", e.Now())
+	}
+	e.At(60, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(70)
+	if len(fired) != 1 || fired[0] != 60 {
+		t.Fatalf("after RunUntil(70) fired = %v, want [60]", fired)
+	}
+	if e.Now() != 70 {
+		t.Fatalf("clock = %d, want 70", e.Now())
+	}
+	e.Run()
+	if len(fired) != 2 || fired[1] != 100 {
+		t.Fatalf("after drain fired = %v, want [60 100]", fired)
+	}
+}
+
+// TestLadderRunUntilScheduleAcrossLap repeats the interleaving with gaps
+// larger than the near window, so pending minima sit in the overflow tier
+// while events are scheduled below the bound; order and clock monotonicity
+// must hold throughout.
+func TestLadderRunUntilScheduleAcrossLap(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	record := func() { fired = append(fired, e.Now()) }
+	e.At(3*ladderWindow, record)
+	e.RunUntil(ladderWindow) // nothing eligible; pending min is in overflow
+	e.At(ladderWindow+2, record)
+	e.RunUntil(2 * ladderWindow)
+	e.At(2*ladderWindow+1, record)
+	e.Run()
+	want := []Time{ladderWindow + 2, 2*ladderWindow + 1, 3 * ladderWindow}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+		if i > 0 && fired[i] < fired[i-1] {
+			t.Fatalf("clock regressed: %v", fired)
+		}
+	}
+}
+
 // TestLadderReferenceModel drives the queue with a seeded adversarial
 // schedule — bursts of same-time events, near and far delays, nested
 // scheduling from callbacks — and checks the firing order against a sorted
