@@ -6,6 +6,9 @@
 #   make stress    the longer fuzz run used before cutting a release
 #   make perf      fixed workload suite -> BENCH_sim.json (ops/sec,
 #                  wall-clock, allocs/op); later PRs gate on regressions
+#   make perf-check  rerun the suite and fail if any workload regresses
+#                  against the committed BENCH_sim.json (+15% ns/op or
+#                  +0.5 allocs/op, best of 3 on wall-clock noise)
 #
 # Batch targets pass -parallel 0 (one worker per core): every seed and
 # experiment is a self-contained simulation, and output is buffered and
@@ -13,9 +16,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test stress-smoke stress bench perf
+.PHONY: check build vet test stress-smoke stress bench perf perf-check
 
-check: build vet test stress-smoke
+check: build vet test stress-smoke perf-check
 
 build:
 	$(GO) build ./...
@@ -37,3 +40,6 @@ bench:
 
 perf:
 	$(GO) run ./cmd/alewife-perf
+
+perf-check:
+	$(GO) run ./cmd/alewife-perf -check BENCH_sim.json

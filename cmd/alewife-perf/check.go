@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// runCheck is the `make perf-check` regression gate: rerun the workload suite
+// at the sizing the baseline snapshot was taken with and fail on material
+// regressions — ns/op above baseline*(1+tol) or allocs/op above baseline+allocTol.
+// Improvements never fail; commit a refreshed snapshot to ratchet them in.
+//
+// Wall-clock on a shared CI box is noisy, so a workload that looks regressed
+// is retried (best of 3) before the gate fails. Alloc counts are
+// deterministic and get no retry benefit, but the retry keeps the minimum of
+// those too, which is harmless.
+func runCheck(path string, tol, allocTol float64) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf-check: cannot read baseline: %v\n", err)
+		return 1
+	}
+	var base Snapshot
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "perf-check: bad baseline %s: %v\n", path, err)
+		return 1
+	}
+	s := sizes(base.Quick)
+
+	baseline := make(map[string]Metric, len(base.Workloads))
+	for _, m := range base.Workloads {
+		baseline[m.Name] = m
+	}
+
+	const retries = 3
+	failed := 0
+	for _, fresh := range runWorkloads(s) {
+		want, ok := baseline[fresh.Name]
+		if !ok {
+			fmt.Printf("%-16s  new workload, no baseline — skipped\n", fresh.Name)
+			continue
+		}
+		best := fresh
+		for try := 1; regressed(best, want, tol, allocTol) && try < retries; try++ {
+			again, ok := runOneWorkload(fresh.Name, s)
+			if !ok {
+				break
+			}
+			if again.NSPerOp < best.NSPerOp {
+				best.NSPerOp = again.NSPerOp
+			}
+			if again.AllocsPerOp < best.AllocsPerOp {
+				best.AllocsPerOp = again.AllocsPerOp
+			}
+		}
+		status := "ok"
+		if regressed(best, want, tol, allocTol) {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("%-16s %-9s  %8.2f ns/op (baseline %8.2f, limit %8.2f)  %6.2f allocs/op (baseline %6.2f, limit %6.2f)\n",
+			best.Name, status,
+			best.NSPerOp, want.NSPerOp, want.NSPerOp*(1+tol),
+			best.AllocsPerOp, want.AllocsPerOp, want.AllocsPerOp+allocTol)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "perf-check: %d workload(s) regressed against %s\n", failed, path)
+		return 1
+	}
+	fmt.Printf("perf-check: all workloads within tolerance of %s\n", path)
+	return 0
+}
+
+func regressed(got, want Metric, tol, allocTol float64) bool {
+	return got.NSPerOp > want.NSPerOp*(1+tol) || got.AllocsPerOp > want.AllocsPerOp+allocTol
+}

@@ -9,7 +9,9 @@
 //
 //	alewife-perf                  # full suite, writes BENCH_sim.json
 //	alewife-perf -quick -out -    # trimmed suite to stdout
+//	alewife-perf -check           # compare a fresh run against BENCH_sim.json
 //	make perf                     # the Makefile entry point
+//	make perf-check               # the tier-1 regression gate
 package main
 
 import (
@@ -42,23 +44,28 @@ type Metric struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
-// ParallelMetric compares one batch workload serial vs fanned-out.
+// ParallelMetric compares one batch workload serial vs fanned-out. On a
+// single-CPU host (or GOMAXPROCS=1) the comparison is meaningless — both
+// runs execute serially — so it is marked Skipped instead of recording a
+// fictitious ~1.0x speedup.
 type ParallelMetric struct {
 	Name       string  `json:"name"`
 	Workers    int     `json:"workers"`
 	SerialNS   int64   `json:"serial_ns"`
 	ParallelNS int64   `json:"parallel_ns"`
 	Speedup    float64 `json:"speedup"`
+	Skipped    bool    `json:"skipped,omitempty"`
 }
 
 // Snapshot is the BENCH_sim.json schema.
 type Snapshot struct {
-	Generated string           `json:"generated"`
-	GoVersion string           `json:"go_version"`
-	CPUs      int              `json:"cpus"`
-	Quick     bool             `json:"quick"`
-	Workloads []Metric         `json:"workloads"`
-	Parallel  []ParallelMetric `json:"parallel"`
+	Generated  string           `json:"generated"`
+	GoVersion  string           `json:"go_version"`
+	CPUs       int              `json:"cpus"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Quick      bool             `json:"quick"`
+	Workloads  []Metric         `json:"workloads"`
+	Parallel   []ParallelMetric `json:"parallel"`
 }
 
 // measure times fn and attributes wall and allocations to ops units.
@@ -138,8 +145,75 @@ func jacobi(nodes, grid, iters int) int64 {
 	return int64(m.Eng.Now())
 }
 
+// suiteSizes are the workload sizes for the full and quick suites. -check
+// replays whichever sizing the baseline snapshot was taken with.
+type suiteSizes struct {
+	churnN, switchN int64
+	seedOps         int
+	dirAcc, meshPkt int64
+	dmaMsgs         int64
+	batchSeeds      int
+	benchNodes      int
+}
+
+func sizes(quick bool) suiteSizes {
+	s := suiteSizes{
+		churnN: 2_000_000, switchN: 200_000, seedOps: 2000,
+		dirAcc: 30_000, meshPkt: 1_000_000, dmaMsgs: 10_000,
+		batchSeeds: 16, benchNodes: 16,
+	}
+	if quick {
+		s.churnN, s.switchN, s.seedOps = 500_000, 50_000, 500
+		s.dirAcc, s.meshPkt, s.dmaMsgs = 8_000, 250_000, 2_500
+		s.batchSeeds = 8
+	}
+	return s
+}
+
+// runWorkloads executes the serial workload suite at the given sizing.
+func runWorkloads(s suiteSizes) []Metric {
+	rs := runnersFor(s)
+	ms := make([]Metric, 0, len(rs))
+	for _, r := range rs {
+		ms = append(ms, measure(r.name, r.unit, r.fn))
+	}
+	return ms
+}
+
+// runOneWorkload re-runs a single named workload (the -check retry path).
+func runOneWorkload(name string, s suiteSizes) (Metric, bool) {
+	for _, m := range runnersFor(s) {
+		if m.name == name {
+			return measure(m.name, m.unit, m.fn), true
+		}
+	}
+	return Metric{}, false
+}
+
+type runner struct {
+	name, unit string
+	fn         func() int64
+}
+
+func runnersFor(s suiteSizes) []runner {
+	return []runner{
+		{"event-churn", "events", func() int64 { return eventChurn(s.churnN) }},
+		{"context-switch", "switches", func() int64 { return contextSwitch(s.switchN) }},
+		{"stress-seed", "stress-ops", func() int64 { return stressSeed(s.seedOps) }},
+		{"jacobi-32x32x8", "sim-cycles", func() int64 { return jacobi(s.benchNodes, 32, 8) }},
+		{"dir-churn", "accesses", func() int64 { return dirChurn(s.dirAcc) }},
+		{"mesh-saturation", "packets", func() int64 { return meshSaturation(s.meshPkt) }},
+		{"dma-bulk", "words", func() int64 { return dmaBulk(s.dmaMsgs) }},
+	}
+}
+
 // compare times a batch workload serial then fanned out over workers.
 func compare(name string, workers int, run func(workers int)) ParallelMetric {
+	if workers < 2 {
+		// One worker: "parallel" degenerates to a second serial run; the
+		// ~1.0x result would be noise dressed up as a speedup.
+		return ParallelMetric{Name: name, Workers: workers, Skipped: true}
+	}
 	s := time.Now()
 	run(1)
 	serial := time.Since(s)
@@ -157,42 +231,40 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "output path ('-' for stdout)")
 	quick := flag.Bool("quick", false, "trimmed workloads (CI smoke)")
 	parallel := flag.Int("parallel", 0, "workers for the parallel comparisons (0 = all cores)")
+	check := flag.String("check", "", "compare a fresh run against this snapshot instead of writing (e.g. BENCH_sim.json)")
+	tolerance := flag.Float64("tolerance", 0.15, "ns/op regression tolerance for -check")
+	allocTol := flag.Float64("alloc-tolerance", 0.5, "allocs/op regression tolerance for -check")
 	flag.Parse()
 
-	churnN, switchN, seedOps := int64(2_000_000), int64(200_000), 2000
-	batchSeeds, benchNodes := 16, 16
-	if *quick {
-		churnN, switchN, seedOps = 500_000, 50_000, 500
-		batchSeeds = 8
+	if *check != "" {
+		os.Exit(runCheck(*check, *tolerance, *allocTol))
 	}
+
+	s := sizes(*quick)
 	workers := fanout.Workers(*parallel)
 
 	snap := Snapshot{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
-		Quick:     *quick,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
 	}
-	snap.Workloads = []Metric{
-		measure("event-churn", "events", func() int64 { return eventChurn(churnN) }),
-		measure("context-switch", "switches", func() int64 { return contextSwitch(switchN) }),
-		measure("stress-seed", "stress-ops", func() int64 { return stressSeed(seedOps) }),
-		measure("jacobi-32x32x8", "sim-cycles", func() int64 { return jacobi(benchNodes, 32, 8) }),
-	}
+	snap.Workloads = runWorkloads(s)
 
 	runSeeds := func(w int) {
-		fanout.Run(batchSeeds, w, func(i int) int64 {
+		fanout.Run(s.batchSeeds, w, func(i int) int64 {
 			cfg := stress.DefaultConfig(uint64(i))
-			cfg.Ops = seedOps
+			cfg.Ops = s.seedOps
 			return stress.Run(cfg).TotalOps
 		})
 	}
 	runBench := func(w int) {
-		cfg := bench.Config{Nodes: benchNodes, Quick: true, Parallel: w}
+		cfg := bench.Config{Nodes: s.benchNodes, Quick: true, Parallel: w}
 		bench.RunAll(cfg, discard{})
 	}
 	snap.Parallel = []ParallelMetric{
-		compare(fmt.Sprintf("stress-%d-seeds", batchSeeds), workers, runSeeds),
+		compare(fmt.Sprintf("stress-%d-seeds", s.batchSeeds), workers, runSeeds),
 		compare("bench-all-quick", workers, runBench),
 	}
 
@@ -216,6 +288,10 @@ func main() {
 			m.Name, m.OpsPerSec, m.Unit, m.NSPerOp, m.AllocsPerOp)
 	}
 	for _, p := range snap.Parallel {
+		if p.Skipped {
+			fmt.Printf("%-16s skipped (only %d worker available)\n", p.Name, p.Workers)
+			continue
+		}
 		fmt.Printf("%-16s serial %8.2fs  parallel(%d) %8.2fs  speedup %.2fx\n",
 			p.Name, float64(p.SerialNS)/1e9, p.Workers, float64(p.ParallelNS)/1e9, p.Speedup)
 	}

@@ -62,12 +62,20 @@ type Descriptor struct {
 // Env is a received message as seen by a handler. Handlers run atomically
 // at interrupt level; cycles they consume are charged to the receiving
 // processor (stolen) and serialize the input port.
+//
+// Envs are pooled per receiving CMMU: a packet in flight is a pooled mesh
+// event carrying the Env's id, and the record (with its operand and data
+// arrays) is recycled once its handler has run. Operands and gathered data
+// are copied into the Env at injection time — which is also when the
+// hardware commits the packet contents — so a sender may reuse its
+// descriptor buffers immediately after Send returns.
 type Env struct {
 	Type int
 	Src  int
 	Ops  []uint64
 	Data []uint64 // gathered region contents, flattened
 
+	id     int // index in the owning CMMU's arena
 	cm     *CMMU
 	cycles uint64
 }
@@ -135,6 +143,37 @@ type CMMU struct {
 	masked   bool
 	queued   []*Env
 	rxFreeAt sim.Time
+
+	// Env arena: every Env this node has ever received lives in envs,
+	// addressed by id; envFree lists the recycled ones. In-flight packets
+	// travel through the mesh as pooled events carrying just the id.
+	envs    []*Env
+	envFree []int
+}
+
+// opEnvArrive is the only event kind a CMMU sinks: p0 is the Env id.
+const opEnvArrive uint32 = 0
+
+// Fire implements sim.Sink: a packet arrival (or a port-free retry) for the
+// identified Env.
+func (c *CMMU) Fire(op uint32, p0, p1 uint64) {
+	c.arrive(c.envs[p0])
+}
+
+// getEnv hands out a pooled Env, retaining its buffers' capacity.
+func (c *CMMU) getEnv() *Env {
+	if n := len(c.envFree); n > 0 {
+		e := c.envs[c.envFree[n-1]]
+		c.envFree = c.envFree[:n-1]
+		return e
+	}
+	e := &Env{id: len(c.envs)}
+	c.envs = append(c.envs, e)
+	return e
+}
+
+func (c *CMMU) putEnv(e *Env) {
+	c.envFree = append(c.envFree, e.id)
 }
 
 // SetPeers wires this CMMU to every node's interface (including its own) so
@@ -184,23 +223,25 @@ func (c *CMMU) Send(d Descriptor, at sim.Time) {
 }
 
 func (c *CMMU) inject(d Descriptor, at sim.Time) {
+	dst := c.peers[d.Dst]
+	env := dst.getEnv()
+	env.Type, env.Src = d.Type, c.node
+	env.Ops = append(env.Ops[:0], d.Ops...)
+	env.Data = env.Data[:0]
 	flush := uint64(0)
-	var data []uint64
 	for _, r := range d.Regions {
 		flush += c.ctrl.DMAFlush(r.Base, r.Words)
 		for i := uint64(0); i < r.Words; i++ {
-			data = append(data, c.store.Read(r.Base+mem.Addr(i)))
+			env.Data = append(env.Data, c.store.Read(r.Base+mem.Addr(i)))
 		}
 	}
-	bytes := c.p.HeaderBytes + mem.WordBytes*(len(d.Ops)+len(data))
+	bytes := c.p.HeaderBytes + mem.WordBytes*(len(env.Ops)+len(env.Data))
 	if c.st != nil {
 		c.st.Inc(c.node, stats.MsgsSent)
-		c.st.Add(c.node, stats.MsgWords, int64(len(d.Ops)+len(data)))
+		c.st.Add(c.node, stats.MsgWords, int64(len(env.Ops)+len(env.Data)))
 	}
 	c.Trace.Emit(at, c.node, trace.KMsgSend, uint64(d.Type))
-	env := &Env{Type: d.Type, Src: c.node, Ops: d.Ops, Data: data}
-	dst := c.peers[d.Dst]
-	c.net.Send(c.node, d.Dst, bytes, at+flush, func() { dst.arrive(env) })
+	c.net.SendMsg(c.node, d.Dst, bytes, at+flush, dst, opEnvArrive, uint64(env.id), 0)
 }
 
 // MaskInterrupts defers message delivery until UnmaskInterrupts; Alewife
@@ -232,8 +273,7 @@ func (c *CMMU) arrive(env *Env) {
 	now := c.eng.Now()
 	if c.rxFreeAt > now {
 		// Input port busy with an earlier packet's handler.
-		e := env
-		c.eng.At(c.rxFreeAt, func() { c.arrive(e) })
+		c.eng.AtSink(c.rxFreeAt, c, opEnvArrive, uint64(env.id), 0)
 		return
 	}
 	h := c.handlers[env.Type]
@@ -250,6 +290,7 @@ func (c *CMMU) arrive(env *Env) {
 	h(env)
 	c.Check.handlerEnd(c)
 	total := env.cycles
+	c.putEnv(env)
 	c.rxFreeAt = now + total
 	if c.sink != nil {
 		c.sink.StealCycles(c.node, total)

@@ -110,13 +110,15 @@ func (mp *MultiProc) grantNext() {
 }
 
 // stall retires this context's pipeline work, hands the pipeline over
-// while g is pending, and reacquires it after g fires.
-func (c *MPContext) stall(g *sim.Gate) {
+// while the fill is pending, and reacquires it after the fill lands. The
+// ticket's generation check makes the handoff safe: if the fill retires
+// while Flush is yielding below, Wait returns immediately.
+func (c *MPContext) stall(tk mem.FillTicket) {
 	mp := c.mp
 	c.P.Flush() // our cycles retire before anyone else runs
 	mp.holder = nil
 	mp.grantNext()
-	g.Wait(c.P.Ctx)
+	tk.Wait(c.P.Ctx)
 	// Fill done: reclaim the pipeline or queue for it.
 	if mp.holder == nil {
 		mp.take(c)
@@ -136,12 +138,12 @@ func (c *MPContext) Elapse(n uint64) { c.P.Elapse(n) }
 func (c *MPContext) Read(a mem.Addr) uint64 {
 	mpar := &c.P.Node.M.Cfg.Mem
 	for {
-		g := c.ctrl().StartMiss(a, mem.Shared)
-		if g == nil {
+		tk := c.ctrl().StartMiss(a, mem.Shared)
+		if tk.Hit() {
 			c.P.Elapse(mpar.CacheHit)
 			return c.P.Store().Read(a)
 		}
-		c.stall(g)
+		c.stall(tk)
 	}
 }
 
@@ -149,13 +151,13 @@ func (c *MPContext) Read(a mem.Addr) uint64 {
 func (c *MPContext) Write(a mem.Addr, v uint64) {
 	mpar := &c.P.Node.M.Cfg.Mem
 	for {
-		g := c.ctrl().StartMiss(a, mem.Exclusive)
-		if g == nil {
+		tk := c.ctrl().StartMiss(a, mem.Exclusive)
+		if tk.Hit() {
 			c.P.Elapse(mpar.CacheHit)
 			c.P.Store().Write(a, v)
 			return
 		}
-		c.stall(g)
+		c.stall(tk)
 	}
 }
 

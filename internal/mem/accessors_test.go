@@ -91,21 +91,21 @@ func TestStartMissDirect(t *testing.T) {
 	a := h.fab.Store.AllocOn(1, 4)
 	h.run(t, func(c *sim.Context) {
 		ctrl := h.fab.Ctrls[0]
-		g := ctrl.StartMiss(a, Shared)
-		if g == nil {
-			t.Fatal("cold StartMiss returned nil gate")
+		tk := ctrl.StartMiss(a, Shared)
+		if tk.Hit() {
+			t.Fatal("cold StartMiss reported a hit")
 		}
-		g.Wait(c)
-		if ctrl.StartMiss(a, Shared) != nil {
+		tk.Wait(c)
+		if !ctrl.StartMiss(a, Shared).Hit() {
 			t.Fatal("warm shared StartMiss not a hit")
 		}
 		// Upgrade path.
-		g = ctrl.StartMiss(a, Exclusive)
-		if g == nil {
-			t.Fatal("upgrade StartMiss returned nil gate")
+		tk = ctrl.StartMiss(a, Exclusive)
+		if tk.Hit() {
+			t.Fatal("upgrade StartMiss reported a hit")
 		}
-		g.Wait(c)
-		if ctrl.StartMiss(a, Exclusive) != nil {
+		tk.Wait(c)
+		if !ctrl.StartMiss(a, Exclusive).Hit() {
 			t.Fatal("exclusive StartMiss not a hit after upgrade")
 		}
 	})
@@ -116,12 +116,12 @@ func TestStartMissJoinsOutstanding(t *testing.T) {
 	a := h.fab.Store.AllocOn(1, 4)
 	h.run(t, func(c *sim.Context) {
 		ctrl := h.fab.Ctrls[0]
-		g1 := ctrl.StartMiss(a, Shared)
-		g2 := ctrl.StartMiss(a, Shared)
-		if g1 == nil || g2 != g1 {
+		tk1 := ctrl.StartMiss(a, Shared)
+		tk2 := ctrl.StartMiss(a, Shared)
+		if tk1.Hit() || tk2.t == nil || tk2.t != tk1.t {
 			t.Fatal("second StartMiss did not join the outstanding fill")
 		}
-		g1.Wait(c)
+		tk1.Wait(c)
 	})
 }
 
@@ -134,11 +134,11 @@ func TestStartMissPrefetchPenaltyGate(t *testing.T) {
 		ctrl.Prefetch(a, false)
 		c.Sleep(300)
 		s := c.Now()
-		g := ctrl.StartMiss(a, Exclusive)
-		if g == nil {
+		tk := ctrl.StartMiss(a, Exclusive)
+		if tk.Hit() {
 			t.Fatal("penalized write reported a free hit")
 		}
-		g.Wait(c)
+		tk.Wait(c)
 		if c.Now()-s != h.fab.P.PrefetchWritePenalty {
 			t.Fatalf("penalty gate waited %d, want %d", c.Now()-s, h.fab.P.PrefetchWritePenalty)
 		}

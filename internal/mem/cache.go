@@ -27,6 +27,7 @@ func (s LState) String() string {
 type cline struct {
 	tag   Addr // line address; valid only when state != Invalid
 	state LState
+	pf    bool // filled by an unconsumed prefetch (transaction-store artifact)
 	lru   uint64
 }
 
@@ -57,16 +58,24 @@ func (c *Cache) Sets() int { return c.sets }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
+// base returns the first index of the set holding line; the set occupies
+// lines[base : base+ways]. Hot paths index from it directly rather than
+// reslicing per probe.
+func (c *Cache) base(line Addr) int {
+	return int(uint64(line/LineWords)&uint64(c.sets-1)) * c.ways
+}
+
 func (c *Cache) set(line Addr) []cline {
-	idx := int(uint64(line/LineWords) & uint64(c.sets-1))
-	return c.lines[idx*c.ways : (idx+1)*c.ways]
+	b := c.base(line)
+	return c.lines[b : b+c.ways]
 }
 
 // State returns the coherence state of the line containing a.
 func (c *Cache) State(a Addr) LState {
 	line := a.Line()
-	for i := range c.set(line) {
-		l := &c.set(line)[i]
+	b := c.base(line)
+	for i := b; i < b+c.ways; i++ {
+		l := &c.lines[i]
 		if l.state != Invalid && l.tag == line {
 			return l.state
 		}
@@ -77,11 +86,40 @@ func (c *Cache) State(a Addr) LState {
 // Touch refreshes LRU for a resident line (hit path).
 func (c *Cache) Touch(a Addr) {
 	line := a.Line()
-	s := c.set(line)
-	for i := range s {
-		if s[i].state != Invalid && s[i].tag == line {
+	b := c.base(line)
+	for i := b; i < b+c.ways; i++ {
+		l := &c.lines[i]
+		if l.state != Invalid && l.tag == line {
 			c.tick++
-			s[i].lru = c.tick
+			l.lru = c.tick
+			return
+		}
+	}
+}
+
+// Prefetched reports whether the resident line was filled by a prefetch that
+// has not yet been consumed by a demand write.
+func (c *Cache) Prefetched(a Addr) bool {
+	line := a.Line()
+	b := c.base(line)
+	for i := b; i < b+c.ways; i++ {
+		l := &c.lines[i]
+		if l.state != Invalid && l.tag == line {
+			return l.pf
+		}
+	}
+	return false
+}
+
+// SetPrefetched marks or clears the prefetch flag on a resident line; no-op
+// when absent.
+func (c *Cache) SetPrefetched(a Addr, v bool) {
+	line := a.Line()
+	b := c.base(line)
+	for i := b; i < b+c.ways; i++ {
+		l := &c.lines[i]
+		if l.state != Invalid && l.tag == line {
+			l.pf = v
 			return
 		}
 	}

@@ -15,14 +15,19 @@ func (f *Fabric) CheckConsistency() error {
 		}
 	}
 	for _, home := range f.Ctrls {
-		for line, e := range home.dir {
+		node := home.node
+		err := home.dir.each(func(line Addr, e *dirEntry) error {
 			switch e.state {
 			case dPendR, dPendW, dPendInv:
-				return fmt.Errorf("home %d line %#x: transient directory state at quiescence", home.node, uint64(line))
+				return fmt.Errorf("home %d line %#x: transient directory state at quiescence", node, uint64(line))
 			}
-			if len(e.deferred) != 0 {
-				return fmt.Errorf("home %d line %#x: %d requests still deferred", home.node, uint64(line), len(e.deferred))
+			if n := e.numDeferred(); n != 0 {
+				return fmt.Errorf("home %d line %#x: %d requests still deferred", node, uint64(line), n)
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	for _, c := range f.Ctrls {
@@ -32,7 +37,7 @@ func (f *Fabric) CheckConsistency() error {
 				continue
 			}
 			home := f.Ctrls[f.Store.Home(l.tag)]
-			e := home.dir[l.tag]
+			e := home.dir.get(l.tag)
 			if e == nil {
 				return fmt.Errorf("node %d caches %#x (%v) but home %d has no entry",
 					c.node, uint64(l.tag), l.state, home.node)

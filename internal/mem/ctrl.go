@@ -17,7 +17,9 @@ type ProcSink interface {
 }
 
 // Fabric owns the memory system of a whole machine: the store, one
-// controller per node, and the network they share.
+// controller per node, and the network they share. It implements sim.Sink
+// (see sink.go): every protocol message and directory continuation is a
+// pooled closure-free event decoded by Fabric.Fire.
 type Fabric struct {
 	Eng   *sim.Engine
 	Net   mesh.Network
@@ -45,12 +47,10 @@ func NewFabric(eng *sim.Engine, net mesh.Network, store *Store, p Params,
 	f.Ctrls = make([]*Ctrl, n)
 	for i := 0; i < n; i++ {
 		f.Ctrls[i] = &Ctrl{
-			f:          f,
-			node:       i,
-			cache:      NewCache(cacheSets, cacheWays),
-			dir:        make(map[Addr]*dirEntry),
-			txns:       make(map[Addr]*txn),
-			prefetched: make(map[Addr]bool),
+			f:    f,
+			node: i,
+			cache: NewCache(cacheSets, cacheWays),
+			txns: make([]*txn, 0, p.TxnLimit),
 		}
 	}
 	return f
@@ -102,7 +102,11 @@ type dirEntry struct {
 	ovList   Addr
 	pendFrom int
 	pendAcks int
+	// deferred is a FIFO of requests parked behind a transient state,
+	// consumed from defHead so the backing array's capacity survives
+	// drain/refill cycles instead of being resliced away.
 	deferred []dreq
+	defHead  int
 }
 
 func (e *dirEntry) hasSharer(n int) bool {
@@ -123,14 +127,24 @@ func (e *dirEntry) dropSharer(n int) {
 	}
 }
 
+// numDeferred reports the requests still parked on the entry.
+func (e *dirEntry) numDeferred() int { return len(e.deferred) - e.defHead }
+
 // ---------------------------------------------------------------------------
 // Requester-side transactions.
 
+// txn is one outstanding fill at a requester. Records are pooled per
+// controller: retirement bumps gen, resets the embedded gate, and pushes the
+// record onto a free list for the next miss, so the protocol's most frequent
+// allocation disappears in steady state. FillTickets carry the gen they were
+// issued at, which makes a ticket held across a yield safe against reuse.
 type txn struct {
 	line     Addr
 	want     LState
 	gate     sim.Gate
 	prefetch bool
+	gen      uint64
+	next     *txn // free-list link
 }
 
 // Ctrl is one node's cache controller and directory controller combined
@@ -142,18 +156,21 @@ type Ctrl struct {
 
 	cache *Cache
 
-	// Directory for lines whose home is this node.
-	dir       map[Addr]*dirEntry
+	// Directory for lines whose home is this node: an open-addressed line
+	// table with slab-pooled entries (see dirtab.go).
+	dir       dirTab
 	dirFreeAt sim.Time // memory/directory occupancy
 
-	// Outstanding requests from this node.
-	txns     map[Addr]*txn
-	txnFreed *sim.Gate // re-armed gate fired whenever a txn retires
-
-	// prefetched marks lines whose current Shared copy came from a
-	// non-binding prefetch; a write to such a line pays the transaction-
-	// store retirement penalty (see Params.PrefetchWritePenalty).
-	prefetched map[Addr]bool
+	// Outstanding requests from this node: at most TxnLimit live records,
+	// linear-scanned (the limit is tiny), recycled through txnFree.
+	txns    []*txn
+	txnFree *txn
+	// txnFreed is fired whenever a transaction retires while someone is
+	// stalled on a full transaction buffer; gen-stamped so a stale ticket
+	// never waits on a round it already missed.
+	txnFreed      sim.Gate
+	txnFreedArmed bool
+	txnFreedGen   uint64
 }
 
 // Cache exposes the tag array for tests and DMA.
@@ -164,18 +181,25 @@ func (c *Ctrl) LineState(a Addr) LState { return c.cache.State(a) }
 
 // DirInfo reports directory state for a home line (tests).
 func (c *Ctrl) DirInfo(a Addr) (state string, sharers int, owner int, overflow bool) {
-	e := c.dir[a.Line()]
+	e := c.dir.get(a.Line())
 	if e == nil {
 		return "idle", 0, -1, false
 	}
-	names := map[dirState]string{
-		dIdle: "idle", dShared: "shared", dExcl: "excl",
-		dPendR: "pendR", dPendW: "pendW", dPendInv: "pendInv",
-	}
-	return names[e.state], len(e.sharers), e.owner, e.overflow
+	return dirStateName(e.state), len(e.sharers), e.owner, e.overflow
 }
 
 func (c *Ctrl) home(a Addr) int { return c.f.Store.Home(a) }
+
+// findTxn returns the outstanding transaction for line, if any. The active
+// list holds at most TxnLimit records, so a linear scan beats any hashing.
+func (c *Ctrl) findTxn(line Addr) *txn {
+	for _, t := range c.txns {
+		if t.line == line {
+			return t
+		}
+	}
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // Fast (hit) paths. These charge nothing themselves; the processor layer
@@ -231,10 +255,10 @@ func (c *Ctrl) Write(ctx *sim.Context, a Addr) {
 		}
 		if c.cache.State(a) == Shared {
 			c.f.count(c.node, stats.CacheUpgrades)
-			if c.prefetched[a.Line()] {
+			if c.cache.Prefetched(a) {
 				// The copy sits in the transaction store: retire it and
 				// re-issue the write (Alewife prefetch-then-write artifact).
-				delete(c.prefetched, a.Line())
+				c.cache.SetPrefetched(a, false)
 				ctx.Sleep(c.f.P.PrefetchWritePenalty)
 				continue
 			}
@@ -260,7 +284,7 @@ func (c *Ctrl) AcquireExclusive(ctx *sim.Context, a Addr) {
 // completes. The caller re-checks the cache state afterwards.
 func (c *Ctrl) miss(ctx *sim.Context, a Addr, want LState) {
 	line := a.Line()
-	if t, ok := c.txns[line]; ok {
+	if t := c.findTxn(line); t != nil {
 		// Outstanding fill; join it. An upgrade wanted while a shared fill
 		// is in flight waits for the fill and retries.
 		if t.prefetch {
@@ -272,34 +296,68 @@ func (c *Ctrl) miss(ctx *sim.Context, a Addr, want LState) {
 	}
 	for len(c.txns) >= c.f.P.TxnLimit {
 		// Transaction buffer full: stall until something retires.
-		if c.txnFreed == nil {
-			c.txnFreed = &sim.Gate{}
-		}
+		c.txnFreedArmed = true
 		c.txnFreed.Wait(ctx)
 	}
 	t := c.start(line, want, false)
 	t.gate.Wait(ctx)
 }
 
+// FillTicket is StartMiss's non-blocking handle on an outstanding fill (or
+// on the stall standing in for one). The zero ticket means the access hit.
+// Because the underlying transaction records and gates are pooled, a ticket
+// held across a yield — Sparcle switches contexts between StartMiss and
+// Wait — validates a generation stamp before waiting: if the fill retired
+// (and its record was possibly reused) in the meantime, Wait returns
+// immediately, exactly as waiting on the retired transaction's fired gate
+// used to.
+type FillTicket struct {
+	c   *Ctrl
+	t   *txn
+	g   *sim.Gate
+	gen uint64
+}
+
+// Hit reports that the access needs no wait at all.
+func (tk FillTicket) Hit() bool { return tk.g == nil }
+
+// Wait parks ctx until the fill completes (no-op for hits and for tickets
+// whose transaction already retired).
+func (tk FillTicket) Wait(ctx *sim.Context) {
+	switch {
+	case tk.g == nil:
+	case tk.t != nil:
+		if tk.t.gen == tk.gen {
+			tk.g.Wait(ctx)
+		}
+	case tk.c != nil:
+		if tk.c.txnFreedGen == tk.gen {
+			tk.g.Wait(ctx)
+		}
+	default:
+		tk.g.Wait(ctx) // plain timed gate (prefetch-write penalty)
+	}
+}
+
 // StartMiss begins or joins a fill for the line containing a, returning a
-// gate that fires when the caller should re-examine the cache, without
+// ticket that fires when the caller should re-examine the cache, without
 // blocking. Latency-tolerant processors (Sparcle's block multithreading)
 // use it to switch to another hardware context instead of stalling; the
 // caller must loop until the desired state holds, exactly like the
-// blocking paths. A nil gate means the access already hits.
-func (c *Ctrl) StartMiss(a Addr, want LState) *sim.Gate {
+// blocking paths. A Hit ticket means the access already hits.
+func (c *Ctrl) StartMiss(a Addr, want LState) FillTicket {
 	st := c.cache.State(a)
 	if st == Exclusive || (st == Shared && want == Shared) {
 		c.cache.Touch(a)
-		return nil
+		return FillTicket{}
 	}
-	if st == Shared && want == Exclusive && c.prefetched[a.Line()] {
+	if st == Shared && want == Exclusive && c.cache.Prefetched(a) {
 		// The transaction-store artifact still applies; the caller pays it
 		// through an extra round of the retry loop with this timed gate.
-		delete(c.prefetched, a.Line())
+		c.cache.SetPrefetched(a, false)
 		g := &sim.Gate{}
 		c.f.Eng.After(c.f.P.PrefetchWritePenalty, g.Fire)
-		return g
+		return FillTicket{g: g}
 	}
 	if st == Shared && want == Exclusive {
 		c.f.count(c.node, stats.CacheUpgrades)
@@ -307,20 +365,19 @@ func (c *Ctrl) StartMiss(a Addr, want LState) *sim.Gate {
 		c.f.count(c.node, stats.CacheMisses)
 	}
 	line := a.Line()
-	if t, ok := c.txns[line]; ok {
+	if t := c.findTxn(line); t != nil {
 		if t.prefetch {
 			t.prefetch = false
 			c.f.count(c.node, stats.PrefetchUseful)
 		}
-		return &t.gate
+		return FillTicket{t: t, g: &t.gate, gen: t.gen}
 	}
 	if len(c.txns) >= c.f.P.TxnLimit {
-		if c.txnFreed == nil {
-			c.txnFreed = &sim.Gate{}
-		}
-		return c.txnFreed
+		c.txnFreedArmed = true
+		return FillTicket{c: c, g: &c.txnFreed, gen: c.txnFreedGen}
 	}
-	return &c.start(line, want, false).gate
+	t := c.start(line, want, false)
+	return FillTicket{t: t, g: &t.gate, gen: t.gen}
 }
 
 // Prefetch issues a non-binding prefetch for the line containing a; excl
@@ -336,7 +393,7 @@ func (c *Ctrl) Prefetch(a Addr, excl bool) {
 	if st == Exclusive || (st == Shared && !excl) {
 		return // already satisfied
 	}
-	if _, ok := c.txns[line]; ok {
+	if c.findTxn(line) != nil {
 		return // already in flight
 	}
 	if len(c.txns) >= c.f.P.TxnLimit {
@@ -349,29 +406,46 @@ func (c *Ctrl) Prefetch(a Addr, excl bool) {
 // start creates the transaction and fires the request at the home.
 func (c *Ctrl) start(line Addr, want LState, prefetch bool) *txn {
 	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KMiss, uint64(line))
-	t := &txn{line: line, want: want, prefetch: prefetch}
-	c.txns[line] = t
+	t := c.txnFree
+	if t != nil {
+		c.txnFree = t.next
+		t.next = nil
+	} else {
+		t = &txn{}
+	}
+	t.line, t.want, t.prefetch = line, want, prefetch
+	c.txns = append(c.txns, t)
 	h := c.home(line)
-	write := want == Exclusive
+	op := opReq | uint32(h)<<opNodeShift
+	if want == Exclusive {
+		op |= flagWrite
+	}
 	eng := c.f.Eng
 	if h == c.node {
 		// Local miss: no network; straight into the directory pipeline
 		// after the requester-side issue cost.
-		eng.After(c.f.P.LocalMiss, func() { c.reqArrive(line, c.node, write) })
+		eng.AtSink(eng.Now()+c.f.P.LocalMiss, c.f, op, uint64(line), uint64(c.node))
 	} else {
 		c.f.count(c.node, stats.ProtoMsgs)
-		c.f.Net.Send(c.node, h, c.f.P.ReqBytes, eng.Now()+c.f.P.LocalMiss,
-			func() { c.f.Ctrls[h].reqArrive(line, c.node, write) })
+		c.f.Net.SendMsg(c.node, h, c.f.P.ReqBytes, eng.Now()+c.f.P.LocalMiss,
+			c.f, op, uint64(line), uint64(c.node))
 	}
 	return t
 }
 
 // grantArrive completes a transaction at the requester.
 func (c *Ctrl) grantArrive(line Addr, granted LState) {
-	t, ok := c.txns[line]
-	if !ok {
+	ti := -1
+	for i, t := range c.txns {
+		if t.line == line {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
 		panic(fmt.Sprintf("mem: node %d grant for line %#x with no transaction", c.node, uint64(line)))
 	}
+	t := c.txns[ti]
 	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KFill, uint64(line))
 	victim, vstate := c.cache.Insert(line, granted)
 	if vstate == Exclusive {
@@ -379,20 +453,20 @@ func (c *Ctrl) grantArrive(line Addr, granted LState) {
 	} else if vstate == Shared {
 		c.f.count(c.node, stats.CacheEvictions)
 	}
-	if vstate != Invalid {
-		delete(c.prefetched, victim)
-	}
-	if t.prefetch && granted == Shared {
-		c.prefetched[line] = true
-	} else {
-		delete(c.prefetched, line)
-	}
-	delete(c.txns, line)
+	c.cache.SetPrefetched(line, t.prefetch && granted == Shared)
+	c.txns = append(c.txns[:ti], c.txns[ti+1:]...)
 	t.gate.Fire()
-	if c.txnFreed != nil {
-		g := c.txnFreed
-		c.txnFreed = nil
-		g.Fire()
+	// Retire the record into the pool: the gen bump invalidates any ticket
+	// still holding it, and the gate is reset for its next transaction.
+	t.gen++
+	t.gate.Reset()
+	t.next = c.txnFree
+	c.txnFree = t
+	if c.txnFreedArmed {
+		c.txnFreedArmed = false
+		c.txnFreedGen++
+		c.txnFreed.Fire()
+		c.txnFreed.Reset()
 	}
 	c.f.Check.event(trace.KFill, c.node, line)
 }
@@ -411,8 +485,8 @@ func (c *Ctrl) writeback(line Addr) {
 		return
 	}
 	c.f.count(c.node, stats.ProtoMsgs)
-	c.f.Net.Send(c.node, h, c.f.P.DataBytes, c.f.Eng.Now(),
-		func() { c.f.Ctrls[h].wbArrive(line, c.node) })
+	c.f.Net.SendMsg(c.node, h, c.f.P.DataBytes, c.f.Eng.Now(),
+		c.f, opWB|uint32(h)<<opNodeShift, uint64(line), uint64(c.node))
 }
 
 // ---------------------------------------------------------------------------
@@ -420,25 +494,7 @@ func (c *Ctrl) writeback(line Addr) {
 // engine event at the home node, serialized by dirFreeAt occupancy.
 
 func (c *Ctrl) entry(line Addr) *dirEntry {
-	e := c.dir[line]
-	if e == nil {
-		e = &dirEntry{state: dIdle, owner: -1}
-		c.dir[line] = e
-	}
-	return e
-}
-
-// occupy reserves the directory/memory pipeline for `busy` cycles starting
-// no earlier than now, and runs fn at the start of the slot; fn's outbound
-// actions should be stamped at slot start + busy.
-func (c *Ctrl) occupy(busy uint64, fn func(done sim.Time)) {
-	eng := c.f.Eng
-	t := eng.Now()
-	if c.dirFreeAt > t {
-		t = c.dirFreeAt
-	}
-	c.dirFreeAt = t + busy
-	eng.At(t, func() { fn(t + busy) })
+	return c.dir.getOrCreate(line)
 }
 
 // reqArrive handles an RREQ/WREQ at the home.
@@ -473,21 +529,14 @@ func (c *Ctrl) serveRead(line Addr, e *dirEntry, from int) {
 	case dIdle:
 		sw := c.addSharer(e, from)
 		e.state = dShared
-		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles+sw, func(done sim.Time) {
-			c.sendGrant(line, from, Shared, true, done)
-		})
+		c.occupyOp(c.f.P.DirCycles+c.f.P.MemCycles+sw, opDirGrant|flagData, line, from)
 	case dShared:
 		sw := c.addSharer(e, from)
-		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles+sw, func(done sim.Time) {
-			c.sendGrant(line, from, Shared, true, done)
-		})
+		c.occupyOp(c.f.P.DirCycles+c.f.P.MemCycles+sw, opDirGrant|flagData, line, from)
 	case dExcl:
-		owner := e.owner
 		e.state = dPendR
 		e.pendFrom = from
-		c.occupy(c.f.P.DirCycles, func(done sim.Time) {
-			c.sendCtl(owner, done, func() { c.f.Ctrls[owner].recallArrive(line, false) })
-		})
+		c.occupyOp(c.f.P.DirCycles, opDirRecall, line, e.owner)
 	default:
 		panic("mem: serveRead on transient entry")
 	}
@@ -503,59 +552,49 @@ func (c *Ctrl) serveWrite(line Addr, e *dirEntry, from int) {
 		if c.f.Fault.wrongOwner() {
 			e.owner = (from + 1) % len(c.f.Ctrls)
 		}
-		e.sharers = nil
+		e.sharers = e.sharers[:0]
 		e.overflow = false
-		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles, func(done sim.Time) {
-			c.sendGrant(line, from, Exclusive, true, done)
-		})
+		c.occupyOp(c.f.P.DirCycles+c.f.P.MemCycles, opDirGrant|flagExcl|flagData, line, from)
 	case dShared:
 		// Invalidate every sharer except the writer; grant when acked.
-		targets := make([]int, 0, len(e.sharers))
+		targets := 0
 		for _, s := range e.sharers {
 			if s != from {
-				targets = append(targets, s)
+				targets++
 			}
 		}
-		if len(targets) == 0 || c.f.Fault.skipInval() {
+		if targets == 0 || c.f.Fault.skipInval() {
 			// Lone sharer upgrading: grant without data.
 			e.state = dExcl
 			e.owner = from
-			e.sharers = nil
+			e.sharers = e.sharers[:0]
 			e.overflow = false
-			c.occupy(c.f.P.DirCycles, func(done sim.Time) {
-				c.sendGrant(line, from, Exclusive, false, done)
-			})
+			c.occupyOp(c.f.P.DirCycles, opDirGrant|flagExcl, line, from)
 			return
 		}
 		sw := uint64(0)
 		if e.overflow {
 			// Software walks the overflowed sharer list.
-			sw = uint64(len(targets)) * c.f.P.SWInvalCycles
+			sw = uint64(targets) * c.f.P.SWInvalCycles
 			c.f.steal(c.node, sw)
 		}
 		hadLine := e.hasSharer(from)
 		e.state = dPendInv
 		e.pendFrom = from
-		e.pendAcks = len(targets)
+		e.pendAcks = targets
 		// Remember whether the grant needs data once acks are in.
 		e.owner = -1
 		if hadLine {
 			e.owner = from // sentinel: upgrade, no data needed
 		}
 		c.f.count(c.node, stats.ProtoInvals)
-		c.occupy(c.f.P.DirCycles+sw, func(done sim.Time) {
-			for _, tgt := range targets {
-				tgt := tgt
-				c.sendCtl(tgt, done, func() { c.f.Ctrls[tgt].invArrive(line) })
-			}
-		})
+		// The fan-out recomputes its target list (sharers minus pendFrom) at
+		// slot-start; dPendInv freezes the sharer list until then.
+		c.occupyOp(c.f.P.DirCycles+sw, opDirFanout, line, 0)
 	case dExcl:
-		owner := e.owner
 		e.state = dPendW
 		e.pendFrom = from
-		c.occupy(c.f.P.DirCycles, func(done sim.Time) {
-			c.sendCtl(owner, done, func() { c.f.Ctrls[owner].recallArrive(line, true) })
-		})
+		c.occupyOp(c.f.P.DirCycles, opDirRecall|flagWrite, line, e.owner)
 	default:
 		panic("mem: serveWrite on transient entry")
 	}
@@ -603,22 +642,16 @@ func (c *Ctrl) sendGrant(line Addr, to int, st LState, withData bool, at sim.Tim
 	if withData {
 		bytes = c.f.P.DataBytes
 	}
+	op := opGrant | uint32(to)<<opNodeShift
+	if st == Exclusive {
+		op |= flagExcl
+	}
 	if to == c.node {
-		c.f.Eng.At(at, func() { c.grantArrive(line, st) })
+		c.f.Eng.AtSink(at, c.f, op, uint64(line), 0)
 		return
 	}
 	c.f.count(c.node, stats.ProtoMsgs)
-	c.f.Net.Send(c.node, to, bytes, at, func() { c.f.Ctrls[to].grantArrive(line, st) })
-}
-
-// sendCtl delivers a small protocol message (INV/RECALL) at time `at`.
-func (c *Ctrl) sendCtl(to int, at sim.Time, fn func()) {
-	if to == c.node {
-		c.f.Eng.At(at, fn)
-		return
-	}
-	c.f.count(c.node, stats.ProtoMsgs)
-	c.f.Net.Send(c.node, to, c.f.P.CtlBytes, at, fn)
+	c.f.Net.SendMsg(c.node, to, bytes, at, c.f, op, uint64(line), 0)
 }
 
 // invArrive handles an invalidation at a sharer. Acks go back to the home
@@ -627,7 +660,6 @@ func (c *Ctrl) invArrive(line Addr) {
 	c.f.Trace.Emit(c.f.Eng.Now(), c.node, trace.KInval, uint64(line))
 	if !c.f.Fault.dropInval() {
 		c.cache.SetState(line, Invalid)
-		delete(c.prefetched, line)
 	}
 	c.f.Check.event(trace.KInval, c.node, line)
 	h := c.home(line)
@@ -636,8 +668,8 @@ func (c *Ctrl) invArrive(line Addr) {
 		return
 	}
 	c.f.count(c.node, stats.ProtoMsgs)
-	c.f.Net.Send(c.node, h, c.f.P.CtlBytes, c.f.Eng.Now(),
-		func() { c.f.Ctrls[h].invAckArrive(line, c.node) })
+	c.f.Net.SendMsg(c.node, h, c.f.P.CtlBytes, c.f.Eng.Now(),
+		c.f, opInvAck|uint32(h)<<opNodeShift, uint64(line), uint64(c.node))
 }
 
 // invAckArrive counts acks at the home; the last one triggers the grant.
@@ -656,15 +688,15 @@ func (c *Ctrl) invAckArrive(line Addr, from int) {
 	withData := e.owner != to // owner sentinel: == to means pure upgrade
 	e.state = dExcl
 	e.owner = to
-	e.sharers = nil
+	e.sharers = e.sharers[:0]
 	e.overflow = false
 	busy := c.f.P.DirCycles
+	op := opDirGrant | flagExcl
 	if withData {
 		busy += c.f.P.MemCycles
+		op |= flagData
 	}
-	c.occupy(busy, func(done sim.Time) {
-		c.sendGrant(line, to, Exclusive, withData, done)
-	})
+	c.occupyOp(busy, op, line, to)
 	c.settle(line)
 	c.f.Check.event(trace.KInval, c.node, line)
 }
@@ -691,8 +723,8 @@ func (c *Ctrl) recallArrive(line Addr, forWrite bool) {
 		return
 	}
 	c.f.count(c.node, stats.ProtoMsgs)
-	c.f.Net.Send(c.node, h, c.f.P.DataBytes, c.f.Eng.Now(),
-		func() { c.f.Ctrls[h].recallDataArrive(line, c.node) })
+	c.f.Net.SendMsg(c.node, h, c.f.P.DataBytes, c.f.Eng.Now(),
+		c.f, opRecallData|uint32(h)<<opNodeShift, uint64(line), uint64(c.node))
 }
 
 // recallDataArrive lands recalled data at the home and completes the
@@ -708,18 +740,14 @@ func (c *Ctrl) recallDataArrive(line Addr, from int) {
 		e.sharers = append(e.sharers, from)
 		sw := c.addSharer(e, to)
 		e.owner = -1
-		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles+sw, func(done sim.Time) {
-			c.sendGrant(line, to, Shared, true, done)
-		})
+		c.occupyOp(c.f.P.DirCycles+c.f.P.MemCycles+sw, opDirGrant|flagData, line, to)
 	case dPendW:
 		to := e.pendFrom
 		e.state = dExcl
 		e.owner = to
-		e.sharers = nil
+		e.sharers = e.sharers[:0]
 		e.overflow = false
-		c.occupy(c.f.P.DirCycles+c.f.P.MemCycles, func(done sim.Time) {
-			c.sendGrant(line, to, Exclusive, true, done)
-		})
+		c.occupyOp(c.f.P.DirCycles+c.f.P.MemCycles, opDirGrant|flagExcl|flagData, line, to)
 	default:
 		panic(fmt.Sprintf("mem: recall data for %#x in state %d", uint64(line), e.state))
 	}
@@ -741,7 +769,7 @@ func (c *Ctrl) wbArrive(line Addr, from int) {
 			e.state = dShared
 		}
 		e.owner = -1
-		c.occupy(c.f.P.MemCycles, func(sim.Time) {})
+		c.occupyOp(c.f.P.MemCycles, opDirNop, line, 0)
 		c.settle(line)
 		c.f.Check.event(trace.KWriteback, c.node, line)
 	case dPendR, dPendW:
@@ -756,17 +784,21 @@ func (c *Ctrl) wbArrive(line Addr, from int) {
 // settle re-dispatches one deferred request if the entry is stable again.
 func (c *Ctrl) settle(line Addr) {
 	e := c.entry(line)
-	for len(e.deferred) > 0 {
+	for e.numDeferred() > 0 {
 		switch e.state {
 		case dPendR, dPendW, dPendInv:
 			return
 		}
-		d := e.deferred[0]
+		d := e.deferred[e.defHead]
 		if e.state == dExcl && e.owner == d.from {
 			// Still waiting for that node's writeback.
 			return
 		}
-		e.deferred = e.deferred[1:]
+		e.defHead++
+		if e.defHead == len(e.deferred) {
+			e.deferred = e.deferred[:0]
+			e.defHead = 0
+		}
 		if d.write {
 			c.serveWrite(line, e, d.from)
 		} else {

@@ -59,6 +59,11 @@ type LiveChecker struct {
 
 	// pendingWB tracks in-flight dirty writebacks as line -> sender nodes.
 	pendingWB map[Addr][]int
+
+	// Scratch holder lists reused across events: the checker runs after
+	// every protocol transition, so per-event allocation here would swamp
+	// the pooled data path it is checking.
+	exclBuf, validBuf []int
 }
 
 // AttachChecker installs a live invariant checker on the fabric and returns
@@ -132,7 +137,7 @@ func (lc *LiveChecker) event(kind trace.Kind, node int, line Addr) {
 	lc.events++
 	f := lc.f
 
-	var excl, valid []int
+	excl, valid := lc.exclBuf[:0], lc.validBuf[:0]
 	for _, c := range f.Ctrls {
 		switch c.cache.State(line) {
 		case Exclusive:
@@ -142,6 +147,7 @@ func (lc *LiveChecker) event(kind trace.Kind, node int, line Addr) {
 			valid = append(valid, c.node)
 		}
 	}
+	lc.exclBuf, lc.validBuf = excl, valid
 
 	// I1: single writer, multiple readers.
 	if len(excl) > 1 {
@@ -153,7 +159,7 @@ func (lc *LiveChecker) event(kind trace.Kind, node int, line Addr) {
 	}
 
 	home := f.Ctrls[f.Store.Home(line)]
-	e := home.dir[line]
+	e := home.dir.get(line)
 
 	// I2: an exclusive holder must be the recorded owner (a recall may be
 	// in flight toward it).

@@ -1,0 +1,261 @@
+package mem
+
+// Tests for the pooled directory/transaction machinery that replaced the
+// map-based hot path: table behavior across growth, transaction record
+// recycling, ticket staleness across retirement, and the eviction and
+// LimitLESS-overflow paths exercised on pooled entries.
+
+import (
+	"testing"
+
+	"alewife/internal/mesh"
+	"alewife/internal/sim"
+	"alewife/internal/stats"
+)
+
+func TestDirTabBasics(t *testing.T) {
+	var tab dirTab
+	if tab.get(0) != nil {
+		t.Fatal("empty table returned an entry")
+	}
+	// Insert well past the initial size to force several grows, including
+	// line address 0 (a legal key: node 0's memory starts at word 0).
+	const n = 500
+	ptrs := make([]*dirEntry, n)
+	for i := 0; i < n; i++ {
+		line := Addr(i * LineWords)
+		e := tab.getOrCreate(line)
+		if e == nil || e.state != dIdle || e.owner != -1 {
+			t.Fatalf("line %d: fresh entry not idle", i)
+		}
+		e.owner = i // mark so reuse is detectable
+		ptrs[i] = e
+	}
+	if tab.n != n {
+		t.Fatalf("occupancy %d, want %d", tab.n, n)
+	}
+	for i := 0; i < n; i++ {
+		line := Addr(i * LineWords)
+		if got := tab.get(line); got != ptrs[i] {
+			t.Fatalf("line %d: entry pointer moved across growth", i)
+		}
+		if got := tab.getOrCreate(line); got != ptrs[i] || got.owner != i {
+			t.Fatalf("line %d: getOrCreate did not find existing entry", i)
+		}
+	}
+	// each visits every entry exactly once.
+	seen := 0
+	_ = tab.each(func(line Addr, e *dirEntry) error {
+		seen++
+		return nil
+	})
+	if seen != n {
+		t.Fatalf("each visited %d entries, want %d", seen, n)
+	}
+}
+
+func TestTxnRecycleAndGen(t *testing.T) {
+	h := newHarness(2)
+	ctrl := h.fab.Ctrls[0]
+	a := h.fab.Store.AllocOn(1, 4)
+	b := h.fab.Store.AllocOn(1, 4)
+	h.run(t, func(c *sim.Context) {
+		ctrl.Read(c, a)
+		rec := ctrl.txnFree
+		if rec == nil {
+			t.Fatal("retired transaction not on the free list")
+		}
+		gen := rec.gen
+		if gen == 0 {
+			t.Fatal("retirement did not bump the record's generation")
+		}
+		// The next miss must reuse the pooled record, not allocate.
+		ctrl.Read(c, b)
+		if ctrl.txnFree != rec {
+			t.Fatal("second miss did not recycle the pooled record")
+		}
+		if rec.gen != gen+1 {
+			t.Fatalf("recycled record gen %d, want %d", rec.gen, gen+1)
+		}
+		if len(ctrl.txns) != 0 {
+			t.Fatalf("%d transactions outstanding after fills", len(ctrl.txns))
+		}
+	})
+}
+
+func TestTicketStaleAfterRetire(t *testing.T) {
+	// A ticket held across the fill's completion (the processor switched to
+	// another context and came back late) must not wait on the recycled
+	// record's reset gate: the generation check short-circuits it.
+	h := newHarness(2)
+	ctrl := h.fab.Ctrls[0]
+	a := h.fab.Store.AllocOn(1, 4)
+	h.run(t, func(c *sim.Context) {
+		tk := ctrl.StartMiss(a, Shared)
+		if tk.Hit() {
+			t.Fatal("cold StartMiss reported a hit")
+		}
+		c.Sleep(100000) // fill completes and the record retires meanwhile
+		if tk.t.gen == tk.gen {
+			t.Fatal("transaction did not retire during the sleep")
+		}
+		before := c.Now()
+		tk.Wait(c) // must return immediately
+		if c.Now() != before {
+			t.Fatal("stale ticket waited on a recycled gate")
+		}
+		if ctrl.LineState(a) != Shared {
+			t.Fatal("fill did not land")
+		}
+	})
+}
+
+func TestTxnFullTicketStaleness(t *testing.T) {
+	// Fill the transaction buffer, take a buffer-full ticket, and hold it
+	// until after the txnFreed gate has re-fired: the gen check must make
+	// Wait a no-op rather than park on the reset gate.
+	h := newHarness(2)
+	ctrl := h.fab.Ctrls[0]
+	p := h.fab.P
+	addrs := make([]Addr, p.TxnLimit+1)
+	for i := range addrs {
+		addrs[i] = h.fab.Store.AllocOn(1, 4)
+	}
+	h.run(t, func(c *sim.Context) {
+		for i := 0; i < p.TxnLimit; i++ {
+			ctrl.Prefetch(addrs[i], false)
+		}
+		if len(ctrl.txns) != p.TxnLimit {
+			t.Fatalf("%d transactions outstanding, want %d", len(ctrl.txns), p.TxnLimit)
+		}
+		tk := ctrl.StartMiss(addrs[p.TxnLimit], Exclusive)
+		if tk.Hit() || tk.c == nil {
+			t.Fatal("buffer-full StartMiss did not return a txnFreed ticket")
+		}
+		c.Sleep(100000) // everything retires; txnFreed fired and reset
+		before := c.Now()
+		tk.Wait(c)
+		if c.Now() != before {
+			t.Fatal("stale buffer-full ticket waited on the reset gate")
+		}
+		// Retry as the caller's loop would; the buffer has room now.
+		tk = ctrl.StartMiss(addrs[p.TxnLimit], Exclusive)
+		if tk.Hit() || tk.t == nil {
+			t.Fatal("retry after buffer drain did not start a fill")
+		}
+		tk.Wait(c)
+		if ctrl.LineState(addrs[p.TxnLimit]) != Exclusive {
+			t.Fatal("fill did not land after buffer drain")
+		}
+	})
+}
+
+// smallHarness builds a fabric with a tiny direct-mapped cache and few
+// hardware pointers so evictions and LimitLESS overflows happen constantly.
+func smallHarness(n int) *harness {
+	eng := sim.NewEngine()
+	w, hgt := mesh.Dims(n)
+	st := stats.NewMachine(n)
+	net := mesh.New(eng, w, hgt, mesh.DefaultParams(), st)
+	store := NewStore(n, 1<<12)
+	sink := &fakeSink{}
+	p := DefaultParams()
+	p.HWPointers = 2
+	fab := NewFabric(eng, net, store, p, st, sink, 2, 1)
+	return &harness{eng: eng, fab: fab, st: st, sink: sink}
+}
+
+func TestPooledEvictionAndOverflow(t *testing.T) {
+	// Drive the pooled directory through its slow paths: every node reads a
+	// hot line (overflowing the 2 hardware pointers into software), then a
+	// writer invalidates the whole overflowed set, and a tiny cache forces
+	// dirty evictions and their writebacks through pooled entries.
+	const nodes = 4
+	h := smallHarness(nodes)
+	hot := h.fab.Store.AllocOn(0, 4)
+	lines := make([]Addr, 6)
+	for i := range lines {
+		lines[i] = h.fab.Store.AllocOn(0, 4)
+	}
+	bodies := make([]func(*sim.Context), nodes)
+	for n := 0; n < nodes; n++ {
+		node := n
+		bodies[node] = func(c *sim.Context) {
+			ctrl := h.fab.Ctrls[node]
+			ctrl.Read(c, hot)
+			c.Sleep(sim.Time(2000 + node)) // let every node join before the write
+			if node == nodes-1 {
+				_, _, _, overflow := h.fab.Ctrls[0].DirInfo(hot)
+				if !overflow {
+					t.Error("full-machine sharing did not overflow 2 hardware pointers")
+				}
+				ctrl.Write(c, hot)
+			}
+			// Churn a working set larger than the 2-line cache: constant
+			// evictions, dirty writebacks, and directory reuse.
+			for i := 0; i < 12; i++ {
+				a := lines[(i+node)%len(lines)]
+				if (i+node)%2 == 0 {
+					ctrl.Write(c, a)
+				} else {
+					ctrl.Read(c, a)
+				}
+			}
+		}
+	}
+	h.run(t, bodies...)
+	if h.st.Global.Get(stats.DirOverflows) == 0 {
+		t.Fatal("no directory overflows recorded")
+	}
+	if h.st.Global.Get(stats.CacheWritebacks) == 0 {
+		t.Fatal("no dirty evictions recorded")
+	}
+	st, sharers, owner, _ := h.fab.Ctrls[0].DirInfo(hot)
+	t.Logf("hot line at quiescence: state=%s sharers=%d owner=%d", st, sharers, owner)
+}
+
+func TestPooledRecordsWithFaultInjection(t *testing.T) {
+	// Protocol mutations must still be caught by the live checker when the
+	// directory and transaction records are pooled, and retirement/recycling
+	// must keep working while the fault corrupts protocol state.
+	cases := []struct {
+		name  string
+		fault Fault
+	}{
+		{"drop-inval", Fault{DropInval: true}},
+		{"forget-sharer", Fault{ForgetSharer: true}},
+		{"wrong-owner", Fault{WrongOwner: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(2)
+			h.fab.Fault = &tc.fault
+			lc := h.fab.AttachChecker()
+			a := h.fab.Store.AllocOn(1, 4)
+			b := h.fab.Store.AllocOn(1, 4) // written cold: the idle-entry write path
+			done := make(chan struct{}, 2)
+			h.eng.Spawn("r", 0, func(c *sim.Context) {
+				h.fab.Ctrls[0].Read(c, a)
+				c.Sleep(5000)
+				h.fab.Ctrls[0].Read(c, a)
+				done <- struct{}{}
+			})
+			h.eng.Spawn("w", 1, func(c *sim.Context) {
+				c.Sleep(2000)
+				h.fab.Ctrls[1].Write(c, a)
+				h.fab.Ctrls[1].Write(c, b)
+				done <- struct{}{}
+			})
+			h.eng.Run()
+			if len(lc.Violations()) == 0 {
+				t.Fatalf("%s: fault escaped the live checker on pooled records", tc.name)
+			}
+			// Retirement kept working: no transactions left outstanding.
+			for _, c := range h.fab.Ctrls {
+				if len(c.txns) != 0 {
+					t.Fatalf("%s: node %d left %d transactions outstanding", tc.name, c.node, len(c.txns))
+				}
+			}
+		})
+	}
+}

@@ -12,18 +12,27 @@ import (
 type Store struct {
 	nodes    int
 	wordsPer uint64
+	homeSh   uint // log2(wordsPer) when it is a power of two, else 0
 	data     []uint64
 	brk      []uint64 // per-node bump allocator offset
 }
 
 // NewStore builds a store for n nodes with wordsPerNode words each.
 func NewStore(n int, wordsPerNode uint64) *Store {
-	return &Store{
+	s := &Store{
 		nodes:    n,
 		wordsPer: wordsPerNode,
 		data:     make([]uint64, uint64(n)*wordsPerNode),
 		brk:      make([]uint64, n),
 	}
+	if wordsPerNode > 1 && wordsPerNode&(wordsPerNode-1) == 0 {
+		// Every configured machine uses a power-of-two module size; Home is
+		// on the request hot path, so turn its division into a shift.
+		for w := wordsPerNode; w > 1; w >>= 1 {
+			s.homeSh++
+		}
+	}
+	return s
 }
 
 // Nodes returns the number of memory modules.
@@ -34,7 +43,12 @@ func (s *Store) WordsPerNode() uint64 { return s.wordsPer }
 
 // Home returns the node whose memory holds a.
 func (s *Store) Home(a Addr) int {
-	h := int(uint64(a) / s.wordsPer)
+	var h int
+	if s.homeSh != 0 {
+		h = int(uint64(a) >> s.homeSh)
+	} else {
+		h = int(uint64(a) / s.wordsPer)
+	}
 	if h < 0 || h >= s.nodes {
 		panic(fmt.Sprintf("mem: address %#x outside store", uint64(a)))
 	}

@@ -60,6 +60,11 @@ type Network interface {
 	// invoked as an engine event at the arrival time. Self-sends are legal
 	// and take a small loopback cost.
 	Send(src, dst int, bytes int, at sim.Time, deliver func())
+	// SendMsg is the pooled hot-path variant of Send: timing and ordering
+	// are identical, but delivery fires s.Fire(op, p0, p1) through a pooled
+	// typed event record instead of a heap-allocated closure. Per-message
+	// subsystems (the coherence protocol, the message unit) use this path.
+	SendMsg(src, dst int, bytes int, at sim.Time, s sim.Sink, op uint32, p0, p1 uint64)
 	// Nodes returns the number of endpoints.
 	Nodes() int
 	// Dist returns the hop distance between two nodes.
@@ -82,12 +87,16 @@ type Mesh struct {
 	st    *stats.Machine
 
 	// Jitter state: packet counter and per-pair monotone injection floor.
+	// Per-pair state is dense — indexed src*Nodes()+dst and sized once at
+	// construction — so it never grows with traffic (a long run used to
+	// accrete map entries per communicating pair; now the footprint is fixed
+	// by the machine configuration).
 	pkts       uint64
-	lastInject map[[2]int]sim.Time
+	lastInject []sim.Time
 	// lastDeliver enforces point-to-point FIFO delivery for every pair;
 	// the routed path is naturally FIFO (monotone link reservations), but
 	// loopback packets of different sizes could otherwise overtake.
-	lastDeliver map[[2]int]sim.Time
+	lastDeliver []sim.Time
 }
 
 // Engine is the subset of *sim.Engine the mesh needs; aliased for clarity.
@@ -110,8 +119,16 @@ func New(eng *Engine, w, h int, p Params, st *stats.Machine) *Mesh {
 	for d := range m.links {
 		m.links[d] = make([]link, w*h)
 	}
+	n := w * h
+	m.lastInject = make([]sim.Time, n*n)
+	m.lastDeliver = make([]sim.Time, n*n)
 	return m
 }
+
+// PairStateWords reports the per-pair bookkeeping footprint in words. It is
+// a constant for a given machine size — tests assert it does not scale with
+// traffic.
+func (m *Mesh) PairStateWords() int { return len(m.lastInject) + len(m.lastDeliver) }
 
 // NewTorus builds a W×H torus: the mesh plus wrap-around links, each
 // dimension routed the shorter way. A 1×N or N×1 torus is a ring.
@@ -182,6 +199,19 @@ func (m *Mesh) flits(bytes int) uint64 {
 
 // Send implements Network. Routing is X-first then Y, matching Alewife.
 func (m *Mesh) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
+	m.eng.At(m.route(src, dst, bytes, at), deliver)
+}
+
+// SendMsg implements Network: identical timing/ordering to Send, pooled
+// closure-free delivery.
+func (m *Mesh) SendMsg(src, dst int, bytes int, at sim.Time, s sim.Sink, op uint32, p0, p1 uint64) {
+	m.eng.AtSink(m.route(src, dst, bytes, at), s, op, p0, p1)
+}
+
+// route walks the packet across the mesh, reserving links, and returns the
+// FIFO-clamped delivery time. This is the whole cost model; Send and SendMsg
+// differ only in how the delivery event is represented.
+func (m *Mesh) route(src, dst int, bytes int, at sim.Time) sim.Time {
 	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
 		panic(fmt.Sprintf("mesh: send %d->%d outside 0..%d", src, dst, m.Nodes()-1))
 	}
@@ -199,21 +229,17 @@ func (m *Mesh) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
 		at += (h >> 33) % m.p.MaxJitter
 		// Keep per-pair injection monotone so jitter cannot reorder
 		// packets between the same endpoints.
-		if m.lastInject == nil {
-			m.lastInject = make(map[[2]int]sim.Time)
-		}
-		key := [2]int{src, dst}
-		if prev := m.lastInject[key]; at <= prev {
+		pair := src*m.Nodes() + dst
+		if prev := m.lastInject[pair]; at <= prev {
 			at = prev + 1
 		}
-		m.lastInject[key] = at
+		m.lastInject[pair] = at
 	}
 	if src == dst {
 		// Loopback through the network interface without touching links.
 		t := m.fifo(src, dst, at+m.p.InjectDelay+m.p.EjectDelay+f*m.p.FlitCycles)
 		m.account(src, t-at)
-		m.eng.At(t, deliver)
-		return
+		return t
 	}
 	head := at + m.p.InjectDelay
 	x, y := m.coord(src)
@@ -251,20 +277,17 @@ func (m *Mesh) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
 	}
 	t := m.fifo(src, dst, head+f*m.p.FlitCycles+m.p.EjectDelay)
 	m.account(src, t-at)
-	m.eng.At(t, deliver)
+	return t
 }
 
 // fifo clamps a delivery time so packets between the same endpoints arrive
 // strictly in send order.
 func (m *Mesh) fifo(src, dst int, t sim.Time) sim.Time {
-	if m.lastDeliver == nil {
-		m.lastDeliver = make(map[[2]int]sim.Time)
-	}
-	key := [2]int{src, dst}
-	if prev := m.lastDeliver[key]; t <= prev {
+	pair := src*m.Nodes() + dst
+	if prev := m.lastDeliver[pair]; t <= prev {
 		t = prev + 1
 	}
-	m.lastDeliver[key] = t
+	m.lastDeliver[pair] = t
 	return t
 }
 
@@ -306,7 +329,7 @@ type Ideal struct {
 	PerByte       uint64 // additional cycles per byte (can be zero)
 	BytesPerCycle int    // wire rate; 0 = infinite
 
-	lastArrival map[[2]int]sim.Time
+	lastArrival []sim.Time // dense per-pair floor, sized N*N on first use
 }
 
 // Nodes implements Network.
@@ -322,6 +345,15 @@ func (i *Ideal) Dist(src, dst int) int {
 
 // Send implements Network.
 func (i *Ideal) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
+	i.Eng.At(i.arrival(src, dst, bytes, at), deliver)
+}
+
+// SendMsg implements Network: same timing as Send, pooled delivery.
+func (i *Ideal) SendMsg(src, dst int, bytes int, at sim.Time, s sim.Sink, op uint32, p0, p1 uint64) {
+	i.Eng.AtSink(i.arrival(src, dst, bytes, at), s, op, p0, p1)
+}
+
+func (i *Ideal) arrival(src, dst int, bytes int, at sim.Time) sim.Time {
 	if at < i.Eng.Now() {
 		at = i.Eng.Now()
 	}
@@ -330,17 +362,17 @@ func (i *Ideal) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
 		t += uint64((bytes + i.BytesPerCycle - 1) / i.BytesPerCycle)
 	}
 	if i.lastArrival == nil {
-		i.lastArrival = make(map[[2]int]sim.Time)
+		i.lastArrival = make([]sim.Time, i.N*i.N)
 	}
 	// Strict FIFO per pair: a later packet arrives strictly after an
 	// earlier one (one wire delivers distinct packets at distinct times).
 	// Equal-time delivery would let a chasing recall be processed before
 	// the resume of the processor its grant just woke, livelocking the
 	// retry loop.
-	key := [2]int{src, dst}
-	if prev := i.lastArrival[key]; t <= prev {
+	pair := src*i.N + dst
+	if prev := i.lastArrival[pair]; t <= prev {
 		t = prev + 1
 	}
-	i.lastArrival[key] = t
-	i.Eng.At(t, deliver)
+	i.lastArrival[pair] = t
+	return t
 }

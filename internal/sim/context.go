@@ -130,9 +130,16 @@ func (c *Context) UnblockAt(t Time) {
 // Gate is a one-shot wake-up list: contexts Wait on it, events Fire it.
 // After firing, Wait returns immediately. Typical use: a cache-fill
 // completion that several loads are stalled on.
+//
+// The common case is exactly one waiter (a processor stalled on its own
+// miss), so the first waiter lives in an inline slot and the spill slice is
+// touched only when a second context joins the same gate. A fired gate can
+// be returned to service with Reset, which keeps the spill slice's capacity —
+// pooled transaction records reuse their embedded gates allocation-free.
 type Gate struct {
 	fired   bool
-	waiters []*Context
+	w0      *Context   // inline first waiter (nil when none)
+	waiters []*Context // second and later waiters
 }
 
 // Fired reports whether the gate has fired.
@@ -143,20 +150,40 @@ func (g *Gate) Wait(c *Context) {
 	if g.fired {
 		return
 	}
-	g.waiters = append(g.waiters, c)
+	if g.w0 == nil {
+		g.w0 = c
+	} else {
+		g.waiters = append(g.waiters, c)
+	}
 	c.Block()
 }
 
-// Fire releases all waiters at the current simulation time.
+// Fire releases all waiters, in arrival order, at the current simulation
+// time.
 func (g *Gate) Fire() {
 	if g.fired {
 		return
 	}
 	g.fired = true
-	for _, w := range g.waiters {
+	if w := g.w0; w != nil {
+		g.w0 = nil
 		w.Unblock()
 	}
-	g.waiters = nil
+	for i, w := range g.waiters {
+		g.waiters[i] = nil // don't pin contexts from the retained array
+		w.Unblock()
+	}
+	g.waiters = g.waiters[:0]
+}
+
+// Reset returns a fired (or idle, waiter-free) gate to the unfired state so
+// it can be waited on again. Resetting a gate that still has parked waiters
+// would strand them, so that panics.
+func (g *Gate) Reset() {
+	if g.w0 != nil || len(g.waiters) > 0 {
+		panic("sim: reset of a gate with parked waiters")
+	}
+	g.fired = false
 }
 
 // Live returns the number of spawned contexts whose bodies have not

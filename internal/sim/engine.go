@@ -78,6 +78,27 @@ func (e *Engine) atWake(t Time, c *Context, gen uint64) {
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
 
+// Sink receives pooled closure-free events scheduled with AtSink. The
+// meaning of op/p0/p1 is the sink's own; the engine just carries them.
+// Subsystems with per-message traffic (the coherence protocol, the network,
+// the message unit) implement Sink once and encode each message kind in op,
+// replacing a closure allocation per event with a pooled typed record.
+type Sink interface {
+	Fire(op uint32, p0, p1 uint64)
+}
+
+// AtSink schedules s.Fire(op, p0, p1) at absolute time t using a pooled
+// record — the closure-free analogue of At for subsystem hot paths.
+func (e *Engine) AtSink(t Time, s Sink, op uint32, p0, p1 uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	r := e.q.get()
+	r.at, r.seq, r.sink, r.op, r.p0, r.gen = t, e.seq, s, op, p0, p1
+	e.q.push(r)
+}
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return e.q.size }
 
@@ -97,6 +118,12 @@ func (e *Engine) dispatch(r *event) {
 		if !c.done && c.gen == gen {
 			c.transfer()
 		}
+		return
+	}
+	if s := r.sink; s != nil {
+		op, p0, p1 := r.op, r.p0, r.gen
+		e.q.put(r)
+		s.Fire(op, p0, p1)
 		return
 	}
 	fn := r.fn

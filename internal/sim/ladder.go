@@ -30,15 +30,21 @@ const (
 	ladderMask   = ladderWindow - 1
 )
 
-// event is one pooled scheduler record. Exactly one of fn/ctx is set: fn for
-// plain callbacks, ctx+gen for context wake-ups (kept typed and closure-free
-// because Sleep/WaitUntil arm one of these per context switch).
+// event is one pooled scheduler record. Exactly one of fn/ctx/sink is set:
+// fn for plain callbacks, ctx+gen for context wake-ups (kept typed and
+// closure-free because Sleep/WaitUntil arm one of these per context switch),
+// sink+op+p0 (with gen reused as the second payload word) for subsystem
+// events delivered through the Sink interface — the protocol and network
+// hot paths schedule one of these per message instead of a closure.
 type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
 	ctx  *Context
-	gen  uint64
+	sink Sink
+	op   uint32
+	p0   uint64
+	gen  uint64 // ctx wake generation, or sink payload word p1
 	next *event // bucket FIFO link / free-list link
 }
 
@@ -87,6 +93,7 @@ func (l *ladder) get() *event {
 func (l *ladder) put(r *event) {
 	r.fn = nil
 	r.ctx = nil
+	r.sink = nil
 	r.next = l.free
 	l.free = r
 }

@@ -1,0 +1,124 @@
+package stress
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The determinism goldens pin the observable behavior of the simulator's hot
+// data path: full load/store history, the complete protocol event trace, the
+// final cycle count and every stats counter, for a handful of adversarial
+// seeds. They were captured from the reference map-based directory/network
+// implementation; the pooled implementation must reproduce them bit for bit
+// (the acceptance bar for every hot-path rewrite). Regenerate only when the
+// simulated *behavior* is meant to change:
+//
+//	go test ./internal/stress -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite stress determinism goldens")
+
+// goldenSeeds: seed 1 is the perf suite's stress-seed; the others widen
+// coverage of jitter in op mix and home placement.
+var goldenSeeds = []uint64{0x1, 0x2a, 0xdeadbeef}
+
+// goldenConfig is small enough to run under -race in tier-1 but big enough to
+// exercise eviction, LimitLESS overflow, DMA, masking and deferral paths.
+func goldenConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Ops = 400
+	cfg.TraceCap = 1 << 20 // retain the entire trace: full-run fingerprint
+	cfg.Capture = true
+	return cfg
+}
+
+// fnv1a hashes a byte string (the history fingerprint).
+func fnv1a(h uint64, s string) uint64 {
+	const prime = 1099511628211
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// render produces the golden file contents for one run.
+func render(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %#x nodes %d\n", res.Seed, res.Nodes)
+	fmt.Fprintf(&b, "ops %d cycles %d\n", res.TotalOps, res.Cycles)
+	hd := uint64(0)
+	for _, op := range res.History {
+		hd = fnv1a(hd, op.String())
+	}
+	fmt.Fprintf(&b, "history %d fnv1a %#016x\n", len(res.History), hd)
+	fmt.Fprintf(&b, "trace fnv1a %#016x\n", res.TraceDigest)
+	b.WriteString("stats:\n")
+	b.WriteString(res.StatsText)
+	// A readable slice of the history so a digest mismatch has context.
+	b.WriteString("history head:\n")
+	head := res.History
+	if len(head) > 40 {
+		head = head[:40]
+	}
+	for _, op := range head {
+		fmt.Fprintf(&b, "%s\n", op.String())
+	}
+	return b.String()
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	for _, seed := range goldenSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%#x", seed), func(t *testing.T) {
+			res := Run(goldenConfig(seed))
+			if res.Failed() {
+				t.Fatalf("stress run failed:\n%s", res.Report())
+			}
+			got := render(res)
+			path := filepath.Join("testdata", fmt.Sprintf("golden_seed_%#x.txt", seed))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden to capture): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("run diverged from the reference implementation golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, clip(got), clip(string(want)))
+			}
+		})
+	}
+}
+
+// clip bounds a diff dump to its informative prefix.
+func clip(s string) string {
+	const max = 4000
+	if len(s) > max {
+		return s[:max] + "\n...(clipped)"
+	}
+	return s
+}
+
+// TestGoldenRerunStable guards the goldens themselves: two runs in one
+// process must be identical (no hidden global state), otherwise a golden
+// mismatch could be simulator nondeterminism rather than a behavior change.
+func TestGoldenRerunStable(t *testing.T) {
+	a := Run(goldenConfig(goldenSeeds[0]))
+	b := Run(goldenConfig(goldenSeeds[0]))
+	if render(a) != render(b) {
+		t.Fatal("same-seed reruns diverged: simulator is nondeterministic")
+	}
+}

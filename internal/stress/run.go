@@ -28,6 +28,11 @@ type Result struct {
 	Violations []string
 	FirstAt    sim.Time // cycle of the first violation (0 when clean)
 	TraceTail  string   // last trace events before the first violation
+
+	// Populated only when Config.Capture is set.
+	History     []HistOp // every tracked access, in execution order
+	TraceDigest uint64   // trace ring fingerprint (trace.Buffer.Digest)
+	StatsText   string   // global counters, one per line, sorted
 }
 
 // Failed reports whether any oracle fired.
@@ -135,8 +140,9 @@ func Execute(cfg Config, prog [][]Op) Result {
 	}
 
 	// The observed history, appended in execution order by procs and
-	// message handlers alike (the simulator is single-threaded).
-	var hist []HistOp
+	// message handlers alike (the simulator is single-threaded). Sized for
+	// the common whole-program run up front so recording doesn't regrow it.
+	hist := make([]HistOp, 0, cfg.Nodes*cfg.Ops)
 	record := func(node int, loc mem.Addr, write bool, val uint64, at sim.Time) {
 		hist = append(hist, HistOp{Node: node, Loc: loc, Write: write, Val: val, At: at})
 	}
@@ -144,10 +150,12 @@ func Execute(cfg Config, prog [][]Op) Result {
 	adds := make([]uint64, len(lay.ctrs)) // expected counter totals
 	for n := 0; n < cfg.Nodes; n++ {
 		node := n
+		var sbuf [1]uint64 // storeback scratch; handlers run atomically
 		m.Nodes[node].CMMU.Register(msgMailbox, func(e *cmmu.Env) {
 			e.ReadOps(1)
 			slot := lay.slot(node, e.Src)
-			e.Storeback(slot, []uint64{e.Ops[0]})
+			sbuf[0] = e.Ops[0]
+			e.Storeback(slot, sbuf[:])
 			record(node, slot, true, e.Ops[0], e.Now())
 		})
 		m.Nodes[node].CMMU.Register(msgBulk, func(e *cmmu.Env) {
@@ -165,6 +173,10 @@ func Execute(cfg Config, prog [][]Op) Result {
 	for n := 0; n < cfg.Nodes; n++ {
 		node, ops := n, prog[n]
 		m.Spawn(node, 0, "stress", func(p *machine.Proc) {
+			// Descriptor scratch: the CMMU copies operands and gathers
+			// regions at injection, so these are safely reused per send.
+			var opsBuf [1]uint64
+			var regBuf [1]cmmu.Region
 			for _, op := range ops {
 				m.St.Inc(node, stats.StressOps)
 				switch op.Kind {
@@ -183,12 +195,15 @@ func Execute(cfg Config, prog [][]Op) Result {
 				case OpPrefetch:
 					p.Prefetch(lay.word(op.Loc), op.Arg&1 == 1)
 				case OpSend:
+					opsBuf[0] = uniq(node)
 					p.SendMessage(cmmu.Descriptor{
-						Type: msgMailbox, Dst: op.Dst, Ops: []uint64{uniq(node)}})
+						Type: msgMailbox, Dst: op.Dst, Ops: opsBuf[:]})
 				case OpDMA:
+					opsBuf[0] = uniq(node)
+					regBuf[0] = cmmu.Region{Base: lay.hot[op.Loc], Words: mem.LineWords}
 					p.SendMessage(cmmu.Descriptor{
-						Type: msgBulk, Dst: op.Dst, Ops: []uint64{uniq(node)},
-						Regions: []cmmu.Region{{Base: lay.hot[op.Loc], Words: mem.LineWords}}})
+						Type: msgBulk, Dst: op.Dst, Ops: opsBuf[:],
+						Regions: regBuf[:]})
 				case OpReadMail:
 					a := lay.slot(node, op.Dst)
 					v := p.Read(a)
@@ -222,6 +237,11 @@ func Execute(cfg Config, prog [][]Op) Result {
 
 	res.Cycles = m.Eng.Now()
 	res.TotalOps = m.St.Global.Get(stats.StressOps)
+	if cfg.Capture {
+		res.History = hist
+		res.TraceDigest = m.Trace.Digest()
+		res.StatsText = m.St.String()
+	}
 
 	if !halted && len(res.Violations) == 0 {
 		if !drained {

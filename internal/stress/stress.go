@@ -77,6 +77,12 @@ type Config struct {
 	// the checker regression tests (nil for real fuzzing).
 	MemFault  *mem.Fault
 	CMMUFault *cmmu.Fault
+
+	// Capture, when set, retains the full observed history plus trace and
+	// stats fingerprints in the Result. The determinism goldens use it to
+	// assert that hot-path rewrites reproduce the reference implementation
+	// bit for bit.
+	Capture bool
 }
 
 // DefaultConfig returns the standard adversarial small machine: 8 nodes, a

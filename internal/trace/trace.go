@@ -152,6 +152,34 @@ func (b *Buffer) Format(max int) string {
 	return sb.String()
 }
 
+// Digest returns an FNV-1a hash of the retained events (oldest first) plus
+// the dropped count: a cheap bit-identity fingerprint for determinism
+// goldens. Two buffers with the same capacity digest equal iff they saw the
+// same event sequence.
+func (b *Buffer) Digest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		e := &b.ring[(b.start+i)%len(b.ring)]
+		mix(e.At)
+		mix(uint64(e.Node))
+		mix(uint64(e.Kind))
+		mix(e.Arg)
+	}
+	mix(uint64(b.dropped))
+	return h
+}
+
 // Summary renders per-kind counts, sorted by kind.
 func (b *Buffer) Summary() string {
 	counts := b.CountByKind()
