@@ -8,7 +8,10 @@
 #                  wall-clock, allocs/op); later PRs gate on regressions
 #   make perf-check  rerun the suite and fail if any workload regresses
 #                  against the committed BENCH_sim.json (+15% ns/op or
-#                  +0.5 allocs/op, best of 3 on wall-clock noise)
+#                  +0.5 allocs/op, best of 3 on wall-clock noise; cycle-
+#                  attribution shares within 2% absolute per bucket)
+#   make cover     statement coverage with a per-package floor of
+#                  $(COVER_FLOOR)% across internal/...
 #
 # Batch targets pass -parallel 0 (one worker per core): every seed and
 # experiment is a self-contained simulation, and output is buffered and
@@ -16,9 +19,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test stress-smoke stress bench perf perf-check
+COVER_FLOOR ?= 60
 
-check: build vet test stress-smoke perf-check
+.PHONY: check build vet test cover stress-smoke stress bench perf perf-check
+
+check: build vet test cover stress-smoke perf-check
 
 build:
 	$(GO) build ./...
@@ -28,6 +33,16 @@ vet:
 
 test:
 	$(GO) test -race ./...
+
+# Per-package statement-coverage floor for the simulator internals. The
+# awk gate fails listing every package below $(COVER_FLOOR)%; FAIL lines
+# are trapped too, since the pipe would otherwise eat go test's exit code.
+cover:
+	$(GO) test -cover ./internal/... | awk -v floor=$(COVER_FLOOR) '\
+		{ print } \
+		/^FAIL/ { bad = bad "\n  " $$2 " FAIL" } \
+		/coverage:/ { if ($$5+0 < floor) { bad = bad "\n  " $$2 " " $$5 } } \
+		END { if (bad != "") { printf "cover: packages below %d%% floor or failing:%s\n", floor, bad; exit 1 } }'
 
 stress-smoke:
 	$(GO) run ./cmd/alewife-stress -ops 2000 -seeds 8 -parallel 0
@@ -39,7 +54,7 @@ bench:
 	$(GO) run ./cmd/alewife-bench -all -parallel 0
 
 perf:
-	$(GO) run ./cmd/alewife-perf
+	$(GO) run ./cmd/alewife-perf -attrib
 
 perf-check:
 	$(GO) run ./cmd/alewife-perf -check BENCH_sim.json

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"alewife/internal/bench"
@@ -22,33 +23,42 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiments and exit")
-	exp := flag.String("experiment", "", "run one experiment by id")
-	all := flag.Bool("all", false, "run every experiment")
-	nodes := flag.Int("nodes", 64, "number of processors")
-	quick := flag.Bool("quick", false, "trimmed parameter sweeps")
-	csvDir := flag.String("csv", "", "also write <experiment>.csv files to this directory")
-	parallel := flag.Int("parallel", 1, "worker goroutines for independent simulations (0 = all cores); output order is unchanged")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alewife-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiments and exit")
+	exp := fs.String("experiment", "", "run one experiment by id")
+	all := fs.Bool("all", false, "run every experiment")
+	nodes := fs.Int("nodes", 64, "number of processors")
+	quick := fs.Bool("quick", false, "trimmed parameter sweeps")
+	csvDir := fs.String("csv", "", "also write <experiment>.csv files to this directory")
+	parallel := fs.Int("parallel", 1, "worker goroutines for independent simulations (0 = all cores); output order is unchanged")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := bench.Config{Nodes: *nodes, Quick: *quick, CSVDir: *csvDir, Parallel: fanout.Workers(*parallel)}
 	switch {
 	case *list:
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.ID, e.Title)
 		}
 	case *exp != "":
 		e, ok := bench.Find(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "unknown experiment %q; try -list\n", *exp)
+			return 1
 		}
-		fmt.Printf("==> %s: %s\n", e.ID, e.Title)
-		e.Run(cfg, os.Stdout)
+		fmt.Fprintf(stdout, "==> %s: %s\n", e.ID, e.Title)
+		e.Run(cfg, stdout)
 	case *all:
-		bench.RunAll(cfg, os.Stdout)
+		bench.RunAll(cfg, stdout)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"alewife/internal/apps"
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/metrics"
+)
+
+// Attribution workloads: small profiled simulations whose per-bucket cycle
+// shares are recorded in the snapshot. They are separate from the timed
+// workloads — those always run unprofiled, so enabling -attrib cannot
+// perturb the ns/op and allocs/op baselines. Shares are deterministic
+// (pure functions of the workload), so perf-check treats drift beyond a
+// small tolerance as a simulated-behavior change, the attribution analogue
+// of the stress goldens.
+
+// attribWorkloads profiles the suite's attribution workloads.
+func attribWorkloads(s suiteSizes) []AttribMetric {
+	return []AttribMetric{
+		attribRun("attrib-jacobi-hybrid", s.benchNodes, core.ModeHybrid, func(rt *core.RT) {
+			apps.Jacobi(rt, 16, 2)
+		}),
+		attribRun("attrib-grain-sm", 8, core.ModeSharedMemory, func(rt *core.RT) {
+			apps.GrainParallel(rt, 6, 100)
+		}),
+		attribRun("attrib-memcpy-msg", 4, core.ModeHybrid, func(rt *core.RT) {
+			apps.Memcpy(rt, 1, 4096, apps.CopyMessage)
+		}),
+	}
+}
+
+// attribRun profiles one workload: the profiler attaches before the
+// runtime spawns its schedulers, is finalized against the machine's
+// elapsed time, and the sum-to-elapsed invariant is asserted.
+func attribRun(name string, nodes int, mode core.Mode, body func(*core.RT)) AttribMetric {
+	m := machine.New(machine.DefaultConfig(nodes))
+	prof := m.EnableMetrics()
+	body(core.NewDefault(m, mode))
+	if err := prof.Finalize(uint64(m.Eng.Now())); err != nil {
+		panic(fmt.Sprintf("perf: %s: %v", name, err))
+	}
+	if err := prof.CheckInvariant(); err != nil {
+		panic(fmt.Sprintf("perf: %s: %v", name, err))
+	}
+	shares := prof.Shares()
+	for k, v := range shares {
+		shares[k] = math.Round(v*1e4) / 1e4
+	}
+	return AttribMetric{Name: name, Shares: shares}
+}
+
+// bucketUnion returns every bucket name that appears in either share map,
+// in the profiler's bucket order (stable output for reports).
+func bucketUnion(a, b map[string]float64) []string {
+	var out []string
+	for bk := metrics.Bucket(0); bk < metrics.NumBuckets; bk++ {
+		name := bk.String()
+		_, inA := a[name]
+		_, inB := b[name]
+		if inA || inB {
+			out = append(out, name)
+		}
+	}
+	return out
+}

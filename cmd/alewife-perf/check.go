@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"os"
 )
 
@@ -15,18 +17,23 @@ import (
 // is retried (best of 3) before the gate fails. Alloc counts are
 // deterministic and get no retry benefit, but the retry keeps the minimum of
 // those too, which is harmless.
-func runCheck(path string, tol, allocTol float64) int {
+//
+// When the baseline carries an attribution section, the profiled workloads
+// are re-run and each bucket's cycle share compared within attribTol
+// (absolute). Shares are deterministic, so drift is a behavioral change in
+// the simulator, not noise — there is no retry.
+func runCheck(path string, tol, allocTol, attribTol float64, stdout, stderr io.Writer) int {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "perf-check: cannot read baseline: %v\n", err)
+		fmt.Fprintf(stderr, "perf-check: cannot read baseline: %v\n", err)
 		return 1
 	}
 	var base Snapshot
 	if err := json.Unmarshal(blob, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "perf-check: bad baseline %s: %v\n", path, err)
+		fmt.Fprintf(stderr, "perf-check: bad baseline %s: %v\n", path, err)
 		return 1
 	}
-	s := sizes(base.Quick)
+	s := sizesFor(base.Quick)
 
 	baseline := make(map[string]Metric, len(base.Workloads))
 	for _, m := range base.Workloads {
@@ -38,7 +45,7 @@ func runCheck(path string, tol, allocTol float64) int {
 	for _, fresh := range runWorkloads(s) {
 		want, ok := baseline[fresh.Name]
 		if !ok {
-			fmt.Printf("%-16s  new workload, no baseline — skipped\n", fresh.Name)
+			fmt.Fprintf(stdout, "%-16s  new workload, no baseline — skipped\n", fresh.Name)
 			continue
 		}
 		best := fresh
@@ -59,17 +66,54 @@ func runCheck(path string, tol, allocTol float64) int {
 			status = "REGRESSED"
 			failed++
 		}
-		fmt.Printf("%-16s %-9s  %8.2f ns/op (baseline %8.2f, limit %8.2f)  %6.2f allocs/op (baseline %6.2f, limit %6.2f)\n",
+		fmt.Fprintf(stdout, "%-16s %-9s  %8.2f ns/op (baseline %8.2f, limit %8.2f)  %6.2f allocs/op (baseline %6.2f, limit %6.2f)\n",
 			best.Name, status,
 			best.NSPerOp, want.NSPerOp, want.NSPerOp*(1+tol),
 			best.AllocsPerOp, want.AllocsPerOp, want.AllocsPerOp+allocTol)
 	}
+
+	failed += checkAttribution(base, s, attribTol, stdout)
+
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "perf-check: %d workload(s) regressed against %s\n", failed, path)
+		fmt.Fprintf(stderr, "perf-check: %d workload(s) regressed against %s\n", failed, path)
 		return 1
 	}
-	fmt.Printf("perf-check: all workloads within tolerance of %s\n", path)
+	fmt.Fprintf(stdout, "perf-check: all workloads within tolerance of %s\n", path)
 	return 0
+}
+
+// checkAttribution gates cycle-attribution drift; returns the number of
+// drifted workloads.
+func checkAttribution(base Snapshot, s suiteSizes, attribTol float64, stdout io.Writer) int {
+	if len(base.Attribution) == 0 {
+		return 0
+	}
+	want := make(map[string]map[string]float64, len(base.Attribution))
+	for _, a := range base.Attribution {
+		want[a.Name] = a.Shares
+	}
+	failed := 0
+	for _, fresh := range attribWorkloads(s) {
+		wantShares, ok := want[fresh.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-20s  new attribution workload, no baseline — skipped\n", fresh.Name)
+			continue
+		}
+		worstDelta, worstBucket := 0.0, "none"
+		for _, b := range bucketUnion(fresh.Shares, wantShares) {
+			if d := math.Abs(fresh.Shares[b] - wantShares[b]); d > worstDelta {
+				worstDelta, worstBucket = d, b
+			}
+		}
+		status := "ok"
+		if worstDelta > attribTol {
+			status = "DRIFTED"
+			failed++
+		}
+		fmt.Fprintf(stdout, "%-20s %-9s  worst bucket drift %.4f (%s, limit %.4f)\n",
+			fresh.Name, status, worstDelta, worstBucket, attribTol)
+	}
+	return failed
 }
 
 func regressed(got, want Metric, tol, allocTol float64) bool {

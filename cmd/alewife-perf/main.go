@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -57,15 +58,25 @@ type ParallelMetric struct {
 	Skipped    bool    `json:"skipped,omitempty"`
 }
 
+// AttribMetric records one profiled workload's cycle-attribution shares
+// (bucket name -> share of total machine cycles). The simulator is
+// deterministic, so shares are exactly reproducible; perf-check flags any
+// drift beyond a small tolerance as a behavioral change.
+type AttribMetric struct {
+	Name   string             `json:"name"`
+	Shares map[string]float64 `json:"shares"`
+}
+
 // Snapshot is the BENCH_sim.json schema.
 type Snapshot struct {
-	Generated  string           `json:"generated"`
-	GoVersion  string           `json:"go_version"`
-	CPUs       int              `json:"cpus"`
-	GoMaxProcs int              `json:"gomaxprocs"`
-	Quick      bool             `json:"quick"`
-	Workloads  []Metric         `json:"workloads"`
-	Parallel   []ParallelMetric `json:"parallel"`
+	Generated   string           `json:"generated"`
+	GoVersion   string           `json:"go_version"`
+	CPUs        int              `json:"cpus"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Quick       bool             `json:"quick"`
+	Workloads   []Metric         `json:"workloads"`
+	Parallel    []ParallelMetric `json:"parallel"`
+	Attribution []AttribMetric   `json:"attribution,omitempty"`
 }
 
 // measure times fn and attributes wall and allocations to ops units.
@@ -156,6 +167,10 @@ type suiteSizes struct {
 	benchNodes      int
 }
 
+// sizesFor resolves the suite sizing; a variable so tests can substitute
+// tiny workloads.
+var sizesFor = sizes
+
 func sizes(quick bool) suiteSizes {
 	s := suiteSizes{
 		churnN: 2_000_000, switchN: 200_000, seedOps: 2000,
@@ -228,19 +243,29 @@ func compare(name string, workers int, run func(workers int)) ParallelMetric {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_sim.json", "output path ('-' for stdout)")
-	quick := flag.Bool("quick", false, "trimmed workloads (CI smoke)")
-	parallel := flag.Int("parallel", 0, "workers for the parallel comparisons (0 = all cores)")
-	check := flag.String("check", "", "compare a fresh run against this snapshot instead of writing (e.g. BENCH_sim.json)")
-	tolerance := flag.Float64("tolerance", 0.15, "ns/op regression tolerance for -check")
-	allocTol := flag.Float64("alloc-tolerance", 0.5, "allocs/op regression tolerance for -check")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *check != "" {
-		os.Exit(runCheck(*check, *tolerance, *allocTol))
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alewife-perf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_sim.json", "output path ('-' for stdout)")
+	quick := fs.Bool("quick", false, "trimmed workloads (CI smoke)")
+	parallel := fs.Int("parallel", 0, "workers for the parallel comparisons (0 = all cores)")
+	check := fs.String("check", "", "compare a fresh run against this snapshot instead of writing (e.g. BENCH_sim.json)")
+	tolerance := fs.Float64("tolerance", 0.15, "ns/op regression tolerance for -check")
+	allocTol := fs.Float64("alloc-tolerance", 0.5, "allocs/op regression tolerance for -check")
+	attribTol := fs.Float64("attrib-tolerance", 0.02, "absolute bucket-share drift tolerance for -check")
+	attrib := fs.Bool("attrib", false, "record cycle-attribution shares of profiled workloads in the snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	s := sizes(*quick)
+	if *check != "" {
+		return runCheck(*check, *tolerance, *allocTol, *attribTol, stdout, stderr)
+	}
+
+	s := sizesFor(*quick)
 	workers := fanout.Workers(*parallel)
 
 	snap := Snapshot{
@@ -251,6 +276,9 @@ func main() {
 		Quick:      *quick,
 	}
 	snap.Workloads = runWorkloads(s)
+	if *attrib {
+		snap.Attribution = attribWorkloads(s)
+	}
 
 	runSeeds := func(w int) {
 		fanout.Run(s.batchSeeds, w, func(i int) int64 {
@@ -270,34 +298,38 @@ func main() {
 
 	blob, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	blob = append(blob, '\n')
 	if *out == "-" {
-		os.Stdout.Write(blob)
+		stdout.Write(blob)
 	} else {
 		if err := os.WriteFile(*out, blob, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 
 	for _, m := range snap.Workloads {
-		fmt.Printf("%-16s %12.1f %s/s  %8.2f ns/op  %6.2f allocs/op\n",
+		fmt.Fprintf(stdout, "%-16s %12.1f %s/s  %8.2f ns/op  %6.2f allocs/op\n",
 			m.Name, m.OpsPerSec, m.Unit, m.NSPerOp, m.AllocsPerOp)
 	}
 	for _, p := range snap.Parallel {
 		if p.Skipped {
-			fmt.Printf("%-16s skipped (only %d worker available)\n", p.Name, p.Workers)
+			fmt.Fprintf(stdout, "%-16s skipped (only %d worker available)\n", p.Name, p.Workers)
 			continue
 		}
-		fmt.Printf("%-16s serial %8.2fs  parallel(%d) %8.2fs  speedup %.2fx\n",
+		fmt.Fprintf(stdout, "%-16s serial %8.2fs  parallel(%d) %8.2fs  speedup %.2fx\n",
 			p.Name, float64(p.SerialNS)/1e9, p.Workers, float64(p.ParallelNS)/1e9, p.Speedup)
 	}
-	if *out != "-" {
-		fmt.Printf("wrote %s\n", *out)
+	for _, a := range snap.Attribution {
+		fmt.Fprintf(stdout, "%-16s attribution recorded (%d buckets)\n", a.Name, len(a.Shares))
 	}
+	if *out != "-" {
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	return 0
 }
 
 // discard swallows experiment output during the timing comparison.

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -58,23 +59,31 @@ type seedResult struct {
 }
 
 func main() {
-	seed := flag.Uint64("seed", 0, "base seed (a run is a pure function of its seed)")
-	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run")
-	ops := flag.Int("ops", 2000, "operations per simulated processor")
-	nodes := flag.Int("nodes", 8, "simulated processors")
-	lines := flag.Int("lines", 6, "contended cache lines")
-	shrink := flag.Bool("shrink", false, "minimize failing programs before reporting")
-	fault := flag.String("fault", "", "inject a protocol mutation (demos the checkers)")
-	parallel := flag.Int("parallel", 1, "worker goroutines for independent seeds (0 = all cores); output stays in seed order")
-	verbose := flag.Bool("v", false, "print per-seed progress")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alewife-stress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 0, "base seed (a run is a pure function of its seed)")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds to run")
+	ops := fs.Int("ops", 2000, "operations per simulated processor")
+	nodes := fs.Int("nodes", 8, "simulated processors")
+	lines := fs.Int("lines", 6, "contended cache lines")
+	shrink := fs.Bool("shrink", false, "minimize failing programs before reporting")
+	fault := fs.String("fault", "", "inject a protocol mutation (demos the checkers)")
+	parallel := fs.Int("parallel", 1, "worker goroutines for independent seeds (0 = all cores); output stays in seed order")
+	verbose := fs.Bool("v", false, "print per-seed progress")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	inject := func(*stress.Config) {}
 	if *fault != "" {
 		f, ok := faults[*fault]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown -fault %q; one of %v\n", *fault, faultNames())
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown -fault %q; one of %v\n", *fault, faultNames())
+			return 2
 		}
 		inject = f
 	}
@@ -106,14 +115,15 @@ func main() {
 	failures := 0
 	var totalOps int64
 	for _, r := range results {
-		fmt.Print(r.out)
+		fmt.Fprint(stdout, r.out)
 		totalOps += r.ops
 		if r.failed {
 			failures++
 		}
 	}
-	fmt.Printf("stress: %d seeds, %d ops executed, %d failing\n", *seeds, totalOps, failures)
+	fmt.Fprintf(stdout, "stress: %d seeds, %d ops executed, %d failing\n", *seeds, totalOps, failures)
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -3,14 +3,21 @@
 // window into what the simulated machine actually does: coherence misses
 // and fills, invalidations, recalls, message traffic, scheduling.
 //
+// With -chrome the retained events are also exported in Chrome trace_event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing; with
+// -attrib the run is profiled and the per-bucket cycle attribution printed.
+//
 // Usage:
 //
 //	alewife-trace [-nodes 8] [-mode hybrid|sm] [-workload grain|jacobi|barrier] [-tail 40]
+//	alewife-trace -workload jacobi -chrome trace.json
+//	alewife-trace -workload grain -attrib
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"alewife"
@@ -19,49 +26,91 @@ import (
 )
 
 func main() {
-	nodes := flag.Int("nodes", 8, "number of processors")
-	modeStr := flag.String("mode", "hybrid", "runtime mode: hybrid or sm")
-	workload := flag.String("workload", "grain", "workload: grain, jacobi or barrier")
-	tail := flag.Int("tail", 40, "trace events to print")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alewife-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodes := fs.Int("nodes", 8, "number of processors")
+	modeStr := fs.String("mode", "hybrid", "runtime mode: hybrid or sm")
+	workload := fs.String("workload", "grain", "workload: grain, jacobi or barrier")
+	tail := fs.Int("tail", 40, "trace events to print")
+	chrome := fs.String("chrome", "", "also write the event stream as Chrome trace_event JSON to this file ('-' for stdout)")
+	attrib := fs.Bool("attrib", false, "profile the run and print the per-bucket cycle attribution")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	mode := alewife.Hybrid
 	if *modeStr == "sm" {
 		mode = alewife.SharedMemory
 	} else if *modeStr != "hybrid" {
-		fmt.Fprintln(os.Stderr, "mode must be hybrid or sm")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mode must be hybrid or sm")
+		return 1
 	}
 
 	m := alewife.NewMachine(*nodes)
 	buf := m.EnableTrace(1 << 16)
+	prof := m.Prof
+	if *attrib {
+		prof = m.EnableMetrics()
+	}
 	rt := alewife.NewRuntime(m, mode)
 
 	switch *workload {
 	case "grain":
 		r := apps.GrainParallel(rt, 7, 100)
-		fmt.Printf("grain depth 7, l=100, %v mode: sum=%d in %d cycles\n\n", mode, r.Sum, r.Cycles)
+		fmt.Fprintf(stdout, "grain depth 7, l=100, %v mode: sum=%d in %d cycles\n\n", mode, r.Sum, r.Cycles)
 	case "jacobi":
 		r := apps.Jacobi(rt, 32, 3)
-		fmt.Printf("jacobi 32x32, 3 iters, %v mode: %d cycles/iter\n\n", mode, r.CyclesPerIter)
+		fmt.Fprintf(stdout, "jacobi 32x32, 3 iters, %v mode: %d cycles/iter\n\n", mode, r.CyclesPerIter)
 	case "barrier":
 		rt.SPMD(func(p *machine.Proc) {
 			for i := 0; i < 3; i++ {
 				rt.Barrier().Sync(p)
 			}
 		})
-		fmt.Printf("3 barrier episodes, %v mode, machine time %d cycles\n\n", mode, m.Eng.Now())
+		fmt.Fprintf(stdout, "3 barrier episodes, %v mode, machine time %d cycles\n\n", mode, m.Eng.Now())
 	default:
-		fmt.Fprintln(os.Stderr, "unknown workload; use grain, jacobi or barrier")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "unknown workload; use grain, jacobi or barrier")
+		return 1
 	}
 
-	fmt.Printf("--- last %d events ---\n%s\n", *tail, buf.Format(*tail))
-	fmt.Printf("--- events by kind ---\n%s\n", buf.Summary())
-	fmt.Println("--- busiest nodes ---")
-	act := buf.NodeActivity()
-	for n := 0; n < *nodes; n++ {
-		fmt.Printf("n%-3d %6d\n", n, act[n])
+	fmt.Fprintf(stdout, "--- last %d events ---\n%s\n", *tail, buf.Format(*tail))
+	fmt.Fprintf(stdout, "--- events by kind ---\n%s\n", buf.Summary())
+	fmt.Fprintln(stdout, "--- busiest nodes ---")
+	for _, nc := range buf.NodeCounts() {
+		fmt.Fprintf(stdout, "n%-3d %6d\n", nc.Node, nc.Count)
 	}
-	fmt.Printf("\n--- machine counters ---\n%s", m.St.String())
+	fmt.Fprintf(stdout, "\n--- machine counters ---\n%s", m.St.String())
+
+	if *attrib {
+		if err := prof.Finalize(uint64(m.Eng.Now())); err != nil {
+			fmt.Fprintf(stderr, "attribution: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\n--- cycle attribution ---\n%s", prof)
+	}
+
+	if *chrome != "" {
+		w := stdout
+		if *chrome != "-" {
+			f, err := os.Create(*chrome)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := buf.ChromeJSON(w); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if *chrome != "-" {
+			fmt.Fprintf(stdout, "\nwrote %d trace events to %s (open in ui.perfetto.dev)\n", buf.Len(), *chrome)
+		}
+	}
+	return 0
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/examples/internal/cmdtest"
+)
+
+func TestBarrierSmoke(t *testing.T) {
+	out, code := cmdtest.Run(t, "alewife/examples/barrier")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"combining-tree barrier, cycles per episode",
+		"shared-memory", // sweep table header
+		"arity",         // second sweep: fan-in at fixed machine size
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarrierBadFlagExitsNonZero(t *testing.T) {
+	if out, code := cmdtest.Run(t, "alewife/examples/barrier", "-no-such-flag"); code == 0 {
+		t.Errorf("unknown flag exited 0:\n%s", out)
+	}
+}

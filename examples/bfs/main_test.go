@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/examples/internal/cmdtest"
+)
+
+func TestBFSSmoke(t *testing.T) {
+	out, code := cmdtest.Run(t, "alewife/examples/bfs",
+		"-nodes", "4", "-vertices", "64", "-degree", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"BFS over 64 vertices (degree 2) on 4 processors",
+		"shared-memory",
+		"hybrid",
+		"checksum ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WRONG") {
+		t.Errorf("checksum failure:\n%s", out)
+	}
+}
+
+func TestBFSBadFlagExitsNonZero(t *testing.T) {
+	if out, code := cmdtest.Run(t, "alewife/examples/bfs", "-vertices", "pony"); code == 0 {
+		t.Errorf("bad flag value exited 0:\n%s", out)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/examples/internal/cmdtest"
+)
+
+func TestJacobiSmoke(t *testing.T) {
+	// The example panics (nonzero exit) on any checksum mismatch, so exit 0
+	// also certifies SM and MP runs agree with the sequential reference.
+	out, code := cmdtest.Run(t, "alewife/examples/jacobi", "-nodes", "4", "-iters", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"jacobi on 4 processors, 2 iterations",
+		"MP/SM",
+		"the paper's Figure 11",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJacobiBadFlagExitsNonZero(t *testing.T) {
+	if out, code := cmdtest.Run(t, "alewife/examples/jacobi", "-iters", "many"); code == 0 {
+		t.Errorf("bad flag value exited 0:\n%s", out)
+	}
+}

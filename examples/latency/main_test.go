@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/examples/internal/cmdtest"
+)
+
+func TestLatencySmoke(t *testing.T) {
+	out, code := cmdtest.Run(t, "alewife/examples/latency")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"summing a 4096-byte array on the neighbouring node, four ways",
+		"blocking loads",
+		"prefetching",
+		"2 hardware contexts",
+		"software DSM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every variant checksums its sum against the closed form.
+	if n := strings.Count(out, "checksum ok"); n != 4 {
+		t.Errorf("%d of 4 variants checksummed ok:\n%s", n, out)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/examples/internal/cmdtest"
+)
+
+func TestQuickstartSmoke(t *testing.T) {
+	out, code := cmdtest.Run(t, "alewife/examples/quickstart")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"node 3 got message from node 1",
+		"shared counter = 40 (expect 40)",
+		"sum=36 (expect 36)",
+		"shared-memory",
+		"hybrid",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

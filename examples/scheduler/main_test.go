@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/examples/internal/cmdtest"
+)
+
+func TestSchedulerSmoke(t *testing.T) {
+	out, code := cmdtest.Run(t, "alewife/examples/scheduler", "-nodes", "8")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"adaptive quadrature on 8 processors",
+		"tolerance",
+		"hyb/SM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSchedulerBadFlagExitsNonZero(t *testing.T) {
+	if out, code := cmdtest.Run(t, "alewife/examples/scheduler", "-nodes", "lots"); code == 0 {
+		t.Errorf("bad flag value exited 0:\n%s", out)
+	}
+}

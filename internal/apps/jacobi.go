@@ -7,6 +7,7 @@ import (
 	"alewife/internal/machine"
 	"alewife/internal/mem"
 	"alewife/internal/mesh"
+	"alewife/internal/metrics"
 )
 
 // jacobi: block-partitioned Jacobi relaxation (Section 4.6, Figure 11).
@@ -262,7 +263,10 @@ func jacobiExchange(rt *core.RT, p *machine.Proc, b *jacobiBlock, blocks []*jaco
 		if !b.ready(e) {
 			b.needEp = e
 			b.waiting = p
+			// Waiting on the neighbours' border messages is synchronization.
+			p.PushRegion(metrics.SyncWait)
 			p.Ctx.Block()
+			p.PopRegion()
 		}
 		return
 	}
@@ -274,6 +278,7 @@ func jacobiExchange(rt *core.RT, p *machine.Proc, b *jacobiBlock, blocks []*jaco
 			p.Write(blocks[nb].flag[opposite(d)], e)
 		}
 	}
+	p.PushRegion(metrics.SyncWait)
 	for d := 0; d < 4; d++ {
 		if b.nb[d] < 0 {
 			continue
@@ -283,6 +288,7 @@ func jacobiExchange(rt *core.RT, p *machine.Proc, b *jacobiBlock, blocks []*jaco
 			p.Flush()
 		}
 	}
+	p.PopRegion()
 	for d := 0; d < 4; d++ {
 		nb := b.nb[d]
 		if nb < 0 {

@@ -4,6 +4,7 @@ import (
 	"alewife/internal/core"
 	"alewife/internal/machine"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 )
 
 // Memory-to-memory copy microbenchmark (Section 4.4, Figure 7): move a
@@ -73,7 +74,11 @@ func Memcpy(rt *core.RT, dstNode int, bytes int, kind CopyKind) MemcpyResult {
 			cycles = p.Ctx.Now() - start
 		case CopyMessage:
 			g := rt.CopyMPAsync(p, dstNode, dst, src, words)
+			// The park below is waiting on a remote completion message, not
+			// a cache fill; attribute it as synchronization wait.
+			p.PushRegion(metrics.SyncWait)
 			g.Wait(p.Ctx) // fires when the destination stored the data
+			p.PopRegion()
 			cycles = p.Ctx.Now() - start
 		}
 	})

@@ -5,6 +5,7 @@ import (
 	"alewife/internal/core"
 	"alewife/internal/machine"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 )
 
@@ -100,7 +101,10 @@ func ProdConsMP(rt *core.RT, words uint64) ProdConsResult {
 		p.Flush()
 		if !arrived {
 			consumer = p
+			// Blocked until the producer's record message arrives.
+			p.PushRegion(metrics.SyncWait)
 			p.Ctx.Block()
+			p.PopRegion()
 			consumer = nil
 		}
 		var sum uint64

@@ -6,6 +6,7 @@ import (
 	"alewife/internal/core"
 	"alewife/internal/machine"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 )
 
@@ -98,7 +99,10 @@ func Transpose(rt *core.RT, words uint64) TransposeResult {
 			p.Flush()
 			if got[me] < n-1 {
 				waiting[me] = p
+				// Waiting for the other nodes' blocks to land: sync time.
+				p.PushRegion(metrics.SyncWait)
 				p.Ctx.Block()
+				p.PopRegion()
 			}
 		})
 		end = total

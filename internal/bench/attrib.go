@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"alewife/internal/apps"
+	"alewife/internal/core"
+	"alewife/internal/machine"
+	"alewife/internal/metrics"
+)
+
+// Cycle-decomposition companions to the figure experiments: each figure's
+// main table is followed by a small per-bucket breakdown contrasting the
+// shared-memory and hybrid versions of a representative point, the
+// machine-checked analogue of the paper's "where did the cycles go"
+// discussion. Every profiled run asserts the attribution invariant —
+// buckets sum exactly to elapsed cycles per node — so the bench suite
+// doubles as an end-to-end test of the profiler on real workloads.
+
+// profiledMachine builds a machine with attribution enabled.
+func profiledMachine(nodes int) (*machine.Machine, *metrics.Profiler) {
+	m := newMachine(nodes)
+	return m, m.EnableMetrics()
+}
+
+// profiledRT builds a runtime with attribution enabled (the profiler must
+// attach before the runtime spawns its schedulers).
+func profiledRT(nodes int, mode core.Mode) (*core.RT, *metrics.Profiler) {
+	m, prof := profiledMachine(nodes)
+	return core.NewDefault(m, mode), prof
+}
+
+// newAttribTable starts a decomposition table: one row per profiled run,
+// one column per timeline bucket (shares of total machine cycles).
+func newAttribTable(name string) *Table {
+	cols := []string{"run"}
+	for b := metrics.Bucket(0); b < metrics.NumTimeline; b++ {
+		cols = append(cols, b.String())
+	}
+	return NewTable(name, cols...)
+}
+
+// addAttribRow finalizes prof against the machine's elapsed time, asserts
+// the sum-to-elapsed invariant, and appends the bucket shares.
+func addAttribRow(t *Table, label string, m *machine.Machine, prof *metrics.Profiler) {
+	if err := prof.Finalize(uint64(m.Eng.Now())); err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", label, err))
+	}
+	if err := prof.CheckInvariant(); err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", label, err))
+	}
+	cells := []interface{}{label}
+	for b := metrics.Bucket(0); b < metrics.NumTimeline; b++ {
+		cells = append(cells, fmt.Sprintf("%.1f%%", 100*prof.Share(b)))
+	}
+	t.Add(cells...)
+}
+
+// emitAttrib prints a decomposition table with a shared preamble.
+func emitAttrib(t *Table, cfg Config, w io.Writer) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "cycle decomposition (share of machine cycles; buckets sum to 100% per run):")
+	t.Emit(cfg, w)
+}
+
+// fig7Attrib decomposes one copy of each kind at a representative size.
+func fig7Attrib(cfg Config, w io.Writer) {
+	t := newAttribTable("fig7_attrib")
+	for _, kind := range []apps.CopyKind{apps.CopyNoPrefetch, apps.CopyPrefetch, apps.CopyMessage} {
+		rt, prof := profiledRT(cfg.Nodes, core.ModeHybrid)
+		apps.Memcpy(rt, 1, 4096, kind)
+		addAttribRow(t, kind.String(), rt.M, prof)
+	}
+	emitAttrib(t, cfg, w)
+}
+
+// fig8Attrib contrasts the accumulate loop's SM and MP flavours.
+func fig8Attrib(cfg Config, w io.Writer) {
+	t := newAttribTable("fig8_attrib")
+	m, prof := profiledMachine(cfg.Nodes)
+	apps.AccumSM(m, 1, 512)
+	addAttribRow(t, "accum-sm", m, prof)
+	rt, prof2 := profiledRT(cfg.Nodes, core.ModeHybrid)
+	apps.AccumMP(rt, 1, 512)
+	addAttribRow(t, "accum-mp", rt.M, prof2)
+	emitAttrib(t, cfg, w)
+}
+
+// fig9Attrib contrasts the schedulers on a fine-grain tree.
+func fig9Attrib(cfg Config, w io.Writer) {
+	depth := 9
+	if cfg.Quick {
+		depth = 7
+	}
+	t := newAttribTable("fig9_attrib")
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		rt, prof := profiledRT(cfg.Nodes, mode)
+		apps.GrainParallel(rt, depth, 100)
+		addAttribRow(t, "grain-"+mode.String(), rt.M, prof)
+	}
+	emitAttrib(t, cfg, w)
+}
+
+// fig10Attrib contrasts the schedulers on the adaptive quadrature.
+func fig10Attrib(cfg Config, w io.Writer) {
+	tol := 0.005
+	if cfg.Quick {
+		tol = 0.02
+	}
+	t := newAttribTable("fig10_attrib")
+	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
+		rt, prof := profiledRT(cfg.Nodes, mode)
+		apps.AQParallel(rt, tol)
+		addAttribRow(t, "aq-"+mode.String(), rt.M, prof)
+	}
+	emitAttrib(t, cfg, w)
+}

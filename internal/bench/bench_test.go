@@ -114,3 +114,27 @@ func TestAblationsQuickRun(t *testing.T) {
 		}
 	}
 }
+
+// The figure experiments carry cycle-decomposition companions; each row is
+// produced by a profiled run whose sum-to-elapsed invariant is asserted
+// inside addAttribRow (the run panics on violation), so reaching the table
+// output proves fig7/fig8's buckets summed exactly to elapsed cycles.
+func TestFigAttribTablesPresent(t *testing.T) {
+	for id, label := range map[string]string{
+		"fig7":  "message-passing",
+		"fig8":  "accum-mp",
+		"fig9":  "grain-hybrid",
+		"fig10": "aq-hybrid",
+	} {
+		out := runQuick(t, id, 8)
+		if !strings.Contains(out, "cycle decomposition") {
+			t.Fatalf("%s output missing decomposition table:\n%s", id, out)
+		}
+		if !strings.Contains(out, label) {
+			t.Fatalf("%s decomposition missing row %q:\n%s", id, label, out)
+		}
+		if !strings.Contains(out, "sync-wait") || !strings.Contains(out, "miss-stall") {
+			t.Fatalf("%s decomposition missing bucket columns:\n%s", id, out)
+		}
+	}
+}

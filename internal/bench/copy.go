@@ -66,6 +66,7 @@ func runFig7(cfg Config, w io.Writer) {
 	t.Note("paper quotes MB/s at 256 B and 4 KB; shapes: msg fastest beyond ~128 B,")
 	t.Note("prefetching loop slower than the plain loop at every size")
 	t.Emit(cfg, w)
+	fig7Attrib(cfg, w)
 }
 
 func runFig8(cfg Config, w io.Writer) {
@@ -92,4 +93,5 @@ func runFig8(cfg Config, w io.Writer) {
 	}
 	t.Note("paper: MP ~2x slower at small blocks, ~1.3x at large; MP-copy rides just under SM")
 	t.Emit(cfg, w)
+	fig8Attrib(cfg, w)
 }

@@ -71,6 +71,7 @@ func runFig9(cfg Config, w io.Writer) {
 		t.Add(l, micros(r.seq.Cycles)/1000, spSM, spHy, spHy/spSM, paperSM, paperHy)
 	}
 	t.Emit(cfg, w)
+	fig9Attrib(cfg, w)
 }
 
 // aqTols sweep the smoothness threshold; looser tolerance = smaller
@@ -108,4 +109,5 @@ func runFig10(cfg Config, w io.Writer) {
 	}
 	t.Note("paper: hybrid ~2x at small problem sizes, >20%% better at ~800 ms sequential")
 	t.Emit(cfg, w)
+	fig10Attrib(cfg, w)
 }

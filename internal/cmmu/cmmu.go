@@ -11,6 +11,7 @@ import (
 
 	"alewife/internal/mem"
 	"alewife/internal/mesh"
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 	"alewife/internal/stats"
 	"alewife/internal/trace"
@@ -135,6 +136,10 @@ type CMMU struct {
 
 	// Trace, when non-nil, records message events.
 	Trace *trace.Buffer
+	// Prof, when non-nil, meters packets waiting on a busy receive port
+	// (the MsgQueue overlay bucket). Handler occupancy itself reaches the
+	// profiler through the processor-steal path, keeping its origin.
+	Prof *metrics.Profiler
 	// Check, when non-nil, validates delivery discipline (see Checker).
 	Check *Checker
 	// Fault, when non-nil, injects delivery mutations for checker tests.
@@ -272,7 +277,12 @@ func (c *CMMU) arrive(env *Env) {
 	}
 	now := c.eng.Now()
 	if c.rxFreeAt > now {
-		// Input port busy with an earlier packet's handler.
+		// Input port busy with an earlier packet's handler. Each deferral
+		// charges its wait segment; segments sum to the packet's total
+		// port-queueing delay.
+		if c.Prof != nil {
+			c.Prof.Add(c.node, metrics.MsgQueue, uint64(c.rxFreeAt-now))
+		}
 		c.eng.AtSink(c.rxFreeAt, c, opEnvArrive, uint64(env.id), 0)
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"alewife/internal/cmmu"
 	"alewife/internal/machine"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 	"alewife/internal/stats"
 	"alewife/internal/trace"
 )
@@ -109,11 +110,13 @@ func (b *Barrier) Sync(p *machine.Proc) {
 		return
 	}
 	b.rt.M.St.Inc(p.ID(), stats.BarrierEpisodes)
+	p.PushRegion(metrics.SyncWait)
 	if b.rt.Mode == ModeHybrid {
 		b.syncHybrid(p)
 	} else {
 		b.syncSM(p)
 	}
+	p.PopRegion()
 	b.rt.M.Trace.Emit(p.Ctx.Now(), p.ID(), trace.KBarrier, b.epoch[p.ID()])
 }
 

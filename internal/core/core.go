@@ -7,6 +7,7 @@ import (
 	"alewife/internal/cmmu"
 	"alewife/internal/machine"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 	"alewife/internal/stats"
 	"alewife/internal/trace"
@@ -114,8 +115,12 @@ func (c *core) next(p *machine.Proc) queueItem {
 	return c.htaskq.pop(p, c.rt.P.QueueOpCycles)
 }
 
-// loop is the scheduler body.
+// loop is the scheduler body. The whole loop runs under an Idle
+// attribution region: queue polling, stealing, backoff and context-switch
+// overhead are scheduler time. The interval a dispatched thread runs is
+// carved out by dispatch (the thread's own processor covers it).
 func (c *core) loop(p *machine.Proc) {
+	p.PushRegion(metrics.Idle)
 	for !c.rt.done {
 		it := c.next(p)
 		if it.empty() {
@@ -158,8 +163,11 @@ func (c *core) dispatch(p *machine.Proc, it queueItem) {
 		c.current = th
 		th.resume()
 	}
-	// Park until the thread hands the processor back.
+	// Park until the thread hands the processor back; the interval belongs
+	// to the thread's processor, so the scheduler's park is unattributed.
+	p.PushRegion(metrics.NoBucket)
 	p.Ctx.Block()
+	p.PopRegion()
 	c.current = nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"alewife/internal/cmmu"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 )
 
 // Future is a single-assignment cell in shared memory. Touching an
@@ -81,6 +82,13 @@ func (f *Future) Touch(tc *TC) uint64 {
 	if p.Read(f.cell) == 1 {
 		return p.Read(f.cell + 1)
 	}
+	// The slow path's own cycles — lock, waiter registration — are time
+	// spent waiting on the producer. The suspension park below is NOT
+	// charged: while this thread is suspended the node's scheduler runs
+	// other work (and records Idle if there is none), so charging the
+	// park here would double-count the node's wall clock.
+	p.PushRegion(metrics.SyncWait)
+	defer p.PopRegion()
 	f.lock.Acquire(p)
 	if p.Read(f.cell) == 1 {
 		f.lock.Release(p)
@@ -95,7 +103,9 @@ func (f *Future) Touch(tc *TC) uint64 {
 	p.Write(f.cell+1, th.id)
 	f.lock.Release(p)
 
+	p.PushRegion(metrics.NoBucket)
 	th.suspend()
+	p.PopRegion()
 
 	// Runnable again: the future is resolved.
 	if th.hasWakeVal {

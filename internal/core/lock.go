@@ -3,6 +3,7 @@ package core
 import (
 	"alewife/internal/machine"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 	"alewife/internal/stats"
 )
 
@@ -20,8 +21,11 @@ func NewSpinLock(m *machine.Machine, node int) *SpinLock {
 	return &SpinLock{addr: m.Store.AllocOn(node, mem.LineWords)}
 }
 
-// Acquire spins until the lock is held by p.
+// Acquire spins until the lock is held by p. Spin and backoff cycles are
+// synchronization wait, not compute; the whole attempt runs under a
+// SyncWait attribution region.
 func (l *SpinLock) Acquire(p *machine.Proc) {
+	p.PushRegion(metrics.SyncWait)
 	backoff := uint64(4)
 	for p.TestSet(l.addr) != 0 {
 		p.Node.M.St.Inc(p.ID(), stats.LockSpins)
@@ -31,6 +35,7 @@ func (l *SpinLock) Acquire(p *machine.Proc) {
 			backoff *= 2
 		}
 	}
+	p.PopRegion()
 	p.Node.M.St.Inc(p.ID(), stats.LockAcquisitions)
 }
 

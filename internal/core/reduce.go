@@ -4,6 +4,7 @@ import (
 	"alewife/internal/cmmu"
 	"alewife/internal/machine"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 )
 
 // SyncReduce is the combining tree put to its classic full use: a global
@@ -59,6 +60,8 @@ func (b *Barrier) SyncReduce(p *machine.Proc, val uint64) uint64 {
 		b.epoch[p.ID()]++
 		return val
 	}
+	p.PushRegion(metrics.SyncWait)
+	defer p.PopRegion()
 	if b.rt.Mode == ModeHybrid {
 		return b.reduceHybrid(p, val)
 	}

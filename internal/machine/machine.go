@@ -12,6 +12,7 @@ import (
 	"alewife/internal/cmmu"
 	"alewife/internal/mem"
 	"alewife/internal/mesh"
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 	"alewife/internal/stats"
 	"alewife/internal/trace"
@@ -70,7 +71,8 @@ type Machine struct {
 	Fab   *mem.Fabric
 	St    *stats.Machine
 	Nodes []*Node
-	Trace *trace.Buffer // nil unless EnableTrace was called
+	Trace *trace.Buffer      // nil unless EnableTrace was called
+	Prof  *metrics.Profiler  // nil unless EnableMetrics was called
 }
 
 // EnableTrace attaches an event trace buffer keeping the most recent cap
@@ -84,6 +86,27 @@ func (m *Machine) EnableTrace(cap int) *trace.Buffer {
 	return m.Trace
 }
 
+// EnableMetrics attaches a cycle-attribution profiler and threads it
+// through every subsystem. Call it before spawning any Proc: each Proc
+// caches the profiler pointer at spawn time so the disabled path stays a
+// single nil branch. Metrics are pure bookkeeping — enabling them never
+// changes simulated timing, so determinism goldens hold either way.
+// Finalize the profiler with the engine's final Now() after the run.
+func (m *Machine) EnableMetrics() *metrics.Profiler {
+	m.Prof = metrics.New(m.Cfg.Nodes)
+	m.Fab.Prof = m.Prof
+	switch net := m.Net.(type) {
+	case *mesh.Mesh:
+		net.Prof = m.Prof
+	case *mesh.Ideal:
+		net.Prof = m.Prof
+	}
+	for _, n := range m.Nodes {
+		n.CMMU.Prof = m.Prof
+	}
+	return m.Prof
+}
+
 // Node is one processing node: processor state, cache controller, CMMU.
 type Node struct {
 	ID   int
@@ -94,11 +117,39 @@ type Node struct {
 	// stolen accumulates interrupt-handler and LimitLESS-trap cycles that
 	// the node's processor has not yet paid; the running Proc drains it.
 	stolen uint64
+	// stolenDir/stolenMsg split stolen by origin (directory trap vs message
+	// handler) for attribution; maintained only while metrics are enabled.
+	stolenDir uint64
+	stolenMsg uint64
 }
 
-// StealCycles implements mem.ProcSink and cmmu.ProcSink.
+// StealCycles implements mem.ProcSink and cmmu.ProcSink; cycles charged
+// through it directly carry no attribution origin (tests use this).
 func (m *Machine) StealCycles(node int, cycles uint64) {
 	m.Nodes[node].stolen += cycles
+}
+
+// dirSteal and msgSteal are the sinks the memory system and the CMMU
+// actually charge through: same accounting as Machine.StealCycles, plus
+// the origin split the profiler needs (one nil branch when disabled).
+type dirSteal struct{ m *Machine }
+
+func (s dirSteal) StealCycles(node int, cycles uint64) {
+	n := s.m.Nodes[node]
+	n.stolen += cycles
+	if s.m.Prof != nil {
+		n.stolenDir += cycles
+	}
+}
+
+type msgSteal struct{ m *Machine }
+
+func (s msgSteal) StealCycles(node int, cycles uint64) {
+	n := s.m.Nodes[node]
+	n.stolen += cycles
+	if s.m.Prof != nil {
+		n.stolenMsg += cycles
+	}
 }
 
 // New builds a machine per cfg.
@@ -124,13 +175,13 @@ func New(cfg Config) *Machine {
 		m.Net = mesh.New(m.Eng, w, h, cfg.Net, m.St)
 	}
 	m.Store = mem.NewStore(cfg.Nodes, cfg.WordsPerNode)
-	m.Fab = mem.NewFabric(m.Eng, m.Net, m.Store, cfg.Mem, m.St, m,
+	m.Fab = mem.NewFabric(m.Eng, m.Net, m.Store, cfg.Mem, m.St, dirSteal{m},
 		cfg.CacheSets, cfg.CacheWays)
 	m.Nodes = make([]*Node, cfg.Nodes)
 	ifaces := make([]*cmmu.CMMU, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{ID: i, M: m, Ctrl: m.Fab.Ctrls[i]}
-		n.CMMU = cmmu.New(i, m.Eng, m.Net, m.Store, n.Ctrl, cfg.CMMU, m.St, m)
+		n.CMMU = cmmu.New(i, m.Eng, m.Net, m.Store, n.Ctrl, cfg.CMMU, m.St, msgSteal{m})
 		ifaces[i] = n.CMMU
 		m.Nodes[i] = n
 	}
@@ -160,9 +211,12 @@ func (m *Machine) Micros(cycles uint64) float64 {
 // The runtime system layers threads on top; tests and microbenchmarks use
 // Spawn directly.
 func (m *Machine) Spawn(node int, at sim.Time, name string, body func(*Proc)) *Proc {
-	p := &Proc{Node: m.Nodes[node]}
+	p := &Proc{Node: m.Nodes[node], prof: m.Prof}
 	p.Ctx = m.Eng.Spawn(fmt.Sprintf("n%d:%s", node, name), at, func(ctx *sim.Context) {
 		body(p)
 	})
+	if p.prof != nil {
+		p.Ctx.BlockNote = p.noteBlock
+	}
 	return p
 }

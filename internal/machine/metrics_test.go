@@ -1,0 +1,114 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/internal/cmmu"
+	"alewife/internal/machine"
+	"alewife/internal/metrics"
+)
+
+// metricsWorkload exercises every attribution source at machine level:
+// local hits, remote miss stalls, compute, a message (sender describe cost
+// plus receiver handler occupancy) and a blocking park.
+func metricsWorkload(m *machine.Machine) {
+	a := m.Store.AllocOn(1, 8)
+	m.Nodes[1].CMMU.Register(99, func(e *cmmu.Env) {
+		e.ReadOps(len(e.Ops))
+		e.Elapse(40)
+	})
+	m.Spawn(0, 0, "w", func(p *machine.Proc) {
+		p.Elapse(200)   // compute
+		_ = p.Read(a)   // remote miss
+		_ = p.Read(a)   // hit
+		p.Write(a, 7)   // upgrade
+		p.SendMessage(cmmu.Descriptor{Type: 99, Dst: 1, Ops: []uint64{1, 2}})
+		p.Flush()
+	})
+	// Handler occupancy is stolen from the receiving node's processor, so
+	// node 1 needs one whose flush happens after the message landed (the
+	// first Flush runs at sim time 0; the second, at 2000, collects the
+	// cycles the handler stole in between).
+	m.Spawn(1, 0, "victim", func(p *machine.Proc) {
+		p.Elapse(2000)
+		p.Flush()
+		p.Elapse(10)
+		p.Flush()
+	})
+	m.Run()
+}
+
+func TestMetricsMachineLevelAttribution(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	prof := m.EnableMetrics()
+	metricsWorkload(m)
+	if err := prof.Finalize(uint64(m.Eng.Now())); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if err := prof.CheckInvariant(); err != nil {
+		t.Fatalf("CheckInvariant: %v", err)
+	}
+	for _, want := range []metrics.Bucket{
+		metrics.Compute, metrics.CacheHit, metrics.MissStall,
+		metrics.Handler, metrics.DirPipeline, metrics.NetTransit,
+	} {
+		if prof.Total(want) == 0 {
+			t.Errorf("bucket %v empty after workload:\n%s", want, prof)
+		}
+	}
+	// The sender's node 0 did the computing; the handler ran on node 1.
+	if prof.Get(0, metrics.Compute) == 0 {
+		t.Errorf("node 0 recorded no compute")
+	}
+	if prof.Get(1, metrics.Handler) == 0 {
+		t.Errorf("node 1 recorded no handler occupancy")
+	}
+}
+
+func TestMetricsNeverChangeTiming(t *testing.T) {
+	plain := machine.New(machine.DefaultConfig(2))
+	metricsWorkload(plain)
+
+	profiled := machine.New(machine.DefaultConfig(2))
+	profiled.EnableMetrics()
+	metricsWorkload(profiled)
+
+	if plain.Eng.Now() != profiled.Eng.Now() {
+		t.Fatalf("profiling changed machine time: %d vs %d", plain.Eng.Now(), profiled.Eng.Now())
+	}
+	if plain.St.String() != profiled.St.String() {
+		t.Fatalf("profiling changed stats counters")
+	}
+}
+
+func TestMetricsUntaggedStealFoldsIntoTimeline(t *testing.T) {
+	// Machine.StealCycles (test hook, no origin tag) must not break the
+	// invariant: untagged stolen cycles land in the compute remainder.
+	m := machine.New(machine.DefaultConfig(1))
+	prof := m.EnableMetrics()
+	m.Spawn(0, 0, "p", func(p *machine.Proc) {
+		p.Elapse(10)
+		m.StealCycles(0, 90)
+		p.Flush()
+	})
+	m.Run()
+	if err := prof.Finalize(uint64(m.Eng.Now())); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if got := prof.Get(0, metrics.Compute); got != 100 {
+		t.Errorf("compute = %d, want 100 (10 own + 90 untagged stolen)", got)
+	}
+}
+
+func TestMetricsStringMentionsOverlay(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	prof := m.EnableMetrics()
+	metricsWorkload(m)
+	if err := prof.Finalize(uint64(m.Eng.Now())); err != nil {
+		t.Fatal(err)
+	}
+	if s := prof.String(); !strings.Contains(s, "(overlay)") {
+		t.Errorf("String() should tag overlay buckets:\n%s", s)
+	}
+}

@@ -3,6 +3,7 @@ package machine
 import (
 	"alewife/internal/cmmu"
 	"alewife/internal/mem"
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 	"alewife/internal/stats"
 )
@@ -21,6 +22,19 @@ type Proc struct {
 	Ctx  *sim.Context
 
 	ahead uint64 // locally accumulated cycles not yet on the global clock
+
+	// Attribution state, live only when the machine's profiler is enabled
+	// (prof caches Machine.Prof at spawn; every hook is one nil branch).
+	// aheadHit/aheadMiss/aheadMsg class the run-ahead accumulator so Flush
+	// can decompose the cycles it retires; region is a small stack of
+	// bucket tags redirecting charges (sync wait, scheduler idle) pushed by
+	// the runtime around waits whose meaning the machine layer cannot see.
+	prof      *metrics.Profiler
+	aheadHit  uint64
+	aheadMiss uint64
+	aheadMsg  uint64
+	region    [4]metrics.Bucket
+	rlen      int
 }
 
 // mp returns the memory cost model.
@@ -36,6 +50,10 @@ func (p *Proc) Now() sim.Time { return p.Ctx.Now() + p.ahead }
 // and any cycles stolen by interrupt handlers or directory traps are paid
 // before the next visible action.
 func (p *Proc) Flush() {
+	if p.prof != nil {
+		p.flushProf()
+		return
+	}
 	p.ahead += p.Node.stolen
 	p.Node.stolen = 0
 	if p.ahead == 0 {
@@ -45,6 +63,99 @@ func (p *Proc) Flush() {
 	p.ahead = 0
 	p.Node.M.St.Add(p.Node.ID, stats.ProcBusyCycles, int64(d))
 	p.Ctx.Sleep(d)
+}
+
+// flushProf is Flush with cycle attribution: identical timing, but the
+// retired cycles are decomposed into buckets as they hit the wall clock.
+// Stolen cycles keep their origin (message handler, directory trap); the
+// proc's own run-ahead splits into its access classes, or redirects
+// wholesale to the active region (a barrier spin's reads and waits are
+// sync time, not memory time).
+func (p *Proc) flushProf() {
+	n := p.Node
+	p.ahead += n.stolen
+	n.stolen = 0
+	msg, dir := n.stolenMsg, n.stolenDir
+	n.stolenMsg, n.stolenDir = 0, 0
+	if p.ahead == 0 {
+		return
+	}
+	d := p.ahead
+	p.ahead = 0
+	hit, miss, snd := p.aheadHit, p.aheadMiss, p.aheadMsg
+	p.aheadHit, p.aheadMiss, p.aheadMsg = 0, 0, 0
+	n.M.St.Add(n.ID, stats.ProcBusyCycles, int64(d))
+
+	// Stolen cycles never redirect: they are asynchronous work that landed
+	// here, not part of what the region is waiting on.
+	p.prof.Add(n.ID, metrics.DirTrap, dir)
+	p.prof.Add(n.ID, metrics.Handler, msg)
+	own := d - dir - msg // includes untagged StealCycles, folded into compute
+	if b := p.curRegion(); b != metrics.NoBucket {
+		p.prof.Add(n.ID, b, own)
+	} else {
+		p.prof.Add(n.ID, metrics.CacheHit, hit)
+		p.prof.Add(n.ID, metrics.MissStall, miss)
+		p.prof.Add(n.ID, metrics.Handler, snd)
+		p.prof.Add(n.ID, metrics.Compute, own-hit-miss-snd)
+	}
+	p.Ctx.Sleep(d)
+}
+
+// curRegion returns the innermost region tag, or NoBucket when none is
+// active (the default decomposition applies).
+func (p *Proc) curRegion() metrics.Bucket {
+	if p.rlen == 0 {
+		return metrics.NoBucket
+	}
+	return p.region[p.rlen-1]
+}
+
+// PushRegion redirects this processor's subsequent attribution (run-ahead
+// retired by Flush, park durations) to the given bucket until PopRegion.
+// The runtime brackets synchronization (SyncWait) and scheduling (Idle)
+// with it; NoBucket suppresses attribution entirely (used while a parked
+// scheduler's interval belongs to the thread it dispatched). A no-op when
+// metrics are disabled.
+func (p *Proc) PushRegion(b metrics.Bucket) {
+	if p.prof == nil {
+		return
+	}
+	if p.rlen == len(p.region) {
+		panic("machine: attribution region stack overflow")
+	}
+	p.region[p.rlen] = b
+	p.rlen++
+}
+
+// PopRegion ends the innermost attribution region.
+func (p *Proc) PopRegion() {
+	if p.prof == nil {
+		return
+	}
+	if p.rlen == 0 {
+		panic("machine: PopRegion without PushRegion")
+	}
+	p.rlen--
+}
+
+// noteBlock is the Context.BlockNote hook: every park of this processor's
+// context (a miss fill gate, a runtime block) is attributed as it ends.
+// Inside a region the wait belongs to the region; otherwise the only
+// parks a bare Proc performs are memory-system gates, so MissStall.
+func (p *Proc) noteBlock(parked, woke sim.Time) {
+	d := uint64(woke - parked)
+	if d == 0 {
+		return
+	}
+	b := p.curRegion()
+	if b == metrics.NoBucket {
+		if p.rlen > 0 {
+			return // explicit NoBucket region: interval owned elsewhere
+		}
+		b = metrics.MissStall
+	}
+	p.prof.Add(p.Node.ID, b, d)
 }
 
 // sync enforces sequential consistency when configured: the access point
@@ -60,11 +171,18 @@ func (p *Proc) Read(a mem.Addr) uint64 {
 	p.sync()
 	if p.Node.Ctrl.FastRead(a) {
 		p.ahead += p.mp().CacheHit
+		if p.prof != nil {
+			p.aheadHit += p.mp().CacheHit
+		}
 		return p.Node.M.Store.Read(a)
 	}
 	p.Flush()
 	p.Node.Ctrl.Read(p.Ctx, a)
 	p.ahead += p.mp().FillToUse + p.mp().CacheHit
+	if p.prof != nil {
+		p.aheadMiss += p.mp().FillToUse
+		p.aheadHit += p.mp().CacheHit
+	}
 	return p.Node.M.Store.Read(a)
 }
 
@@ -73,12 +191,19 @@ func (p *Proc) Write(a mem.Addr, v uint64) {
 	p.sync()
 	if p.Node.Ctrl.FastWrite(a) {
 		p.ahead += p.mp().CacheHit
+		if p.prof != nil {
+			p.aheadHit += p.mp().CacheHit
+		}
 		p.Node.M.Store.Write(a, v)
 		return
 	}
 	p.Flush()
 	p.Node.Ctrl.Write(p.Ctx, a)
 	p.ahead += p.mp().FillToUse + p.mp().CacheHit
+	if p.prof != nil {
+		p.aheadMiss += p.mp().FillToUse
+		p.aheadHit += p.mp().CacheHit
+	}
 	p.Node.M.Store.Write(a, v)
 }
 
@@ -104,6 +229,9 @@ func (p *Proc) FetchAdd(a mem.Addr, delta uint64) uint64 {
 	old := p.Node.M.Store.Read(a)
 	p.Node.M.Store.Write(a, old+delta)
 	p.ahead += 2 * p.mp().CacheHit
+	if p.prof != nil {
+		p.aheadHit += 2 * p.mp().CacheHit
+	}
 	return old
 }
 
@@ -114,6 +242,9 @@ func (p *Proc) CompareSwap(a mem.Addr, old, new uint64) bool {
 	p.Node.Ctrl.AcquireExclusive(p.Ctx, a)
 	cur := p.Node.M.Store.Read(a)
 	p.ahead += 2 * p.mp().CacheHit
+	if p.prof != nil {
+		p.aheadHit += 2 * p.mp().CacheHit
+	}
 	if cur != old {
 		return false
 	}
@@ -129,6 +260,9 @@ func (p *Proc) TestSet(a mem.Addr) uint64 {
 	old := p.Node.M.Store.Read(a)
 	p.Node.M.Store.Write(a, 1)
 	p.ahead += 2 * p.mp().CacheHit
+	if p.prof != nil {
+		p.aheadHit += 2 * p.mp().CacheHit
+	}
 	return old
 }
 
@@ -140,6 +274,9 @@ func (p *Proc) SendMessage(d cmmu.Descriptor) {
 	cost := p.Node.CMMU.SendCost(d)
 	p.Node.CMMU.Send(d, p.Ctx.Now()+cost)
 	p.ahead += cost
+	if p.prof != nil {
+		p.aheadMsg += cost
+	}
 }
 
 // MaskInterrupts defers message handlers on this node.

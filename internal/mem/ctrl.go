@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"alewife/internal/mesh"
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 	"alewife/internal/stats"
 	"alewife/internal/trace"
@@ -30,6 +31,9 @@ type Fabric struct {
 	Ctrls []*Ctrl
 	// Trace, when non-nil, records protocol events.
 	Trace *trace.Buffer
+	// Prof, when non-nil, meters directory/memory pipeline occupancy
+	// (the DirPipeline overlay bucket, charged at the home node).
+	Prof *metrics.Profiler
 	// Check, when non-nil, validates protocol invariants after every state
 	// transition (see LiveChecker); attach with AttachChecker.
 	Check *LiveChecker

@@ -18,6 +18,7 @@ package mesh
 import (
 	"fmt"
 
+	"alewife/internal/metrics"
 	"alewife/internal/sim"
 	"alewife/internal/stats"
 )
@@ -85,6 +86,10 @@ type Mesh struct {
 	// links[dir][node] is the outgoing link from node in direction dir.
 	links [4][]link
 	st    *stats.Machine
+	// Prof, when non-nil, meters every packet's unloaded wire time
+	// (NetTransit) and its delay beyond that (NetQueue: link contention,
+	// FIFO clamps, jitter), charged to the source node as overlay buckets.
+	Prof *metrics.Profiler
 
 	// Jitter state: packet counter and per-pair monotone injection floor.
 	// Per-pair state is dense — indexed src*Nodes()+dst and sized once at
@@ -223,6 +228,7 @@ func (m *Mesh) route(src, dst int, bytes int, at sim.Time) sim.Time {
 		m.st.Inc(src, stats.NetPackets)
 		m.st.Add(src, stats.NetFlits, int64(f))
 	}
+	at0 := at // requested departure; delay beyond unloaded time is queueing
 	if m.p.MaxJitter > 0 {
 		m.pkts++
 		h := (m.pkts*0x9e3779b97f4a7c15 + m.p.JitterSeed*0xbf58476d1ce4e5b9) ^ uint64(src*73+dst)
@@ -239,6 +245,7 @@ func (m *Mesh) route(src, dst int, bytes int, at sim.Time) sim.Time {
 		// Loopback through the network interface without touching links.
 		t := m.fifo(src, dst, at+m.p.InjectDelay+m.p.EjectDelay+f*m.p.FlitCycles)
 		m.account(src, t-at)
+		m.profNet(src, uint64(t-at0), m.p.InjectDelay+m.p.EjectDelay+f*m.p.FlitCycles)
 		return t
 	}
 	head := at + m.p.InjectDelay
@@ -277,7 +284,22 @@ func (m *Mesh) route(src, dst int, bytes int, at sim.Time) sim.Time {
 	}
 	t := m.fifo(src, dst, head+f*m.p.FlitCycles+m.p.EjectDelay)
 	m.account(src, t-at)
+	m.profNet(src, uint64(t-at0),
+		m.p.InjectDelay+uint64(m.Dist(src, dst))*m.p.RouterDelay+f*m.p.FlitCycles+m.p.EjectDelay)
 	return t
+}
+
+// profNet splits one packet's delivery delay into its unloaded wire time
+// and everything beyond it (contention, FIFO clamps, jitter).
+func (m *Mesh) profNet(src int, total, unloaded uint64) {
+	if m.Prof == nil {
+		return
+	}
+	if total < unloaded {
+		unloaded = total // FIFO clamps cannot shrink a delay; guard anyway
+	}
+	m.Prof.Add(src, metrics.NetTransit, unloaded)
+	m.Prof.Add(src, metrics.NetQueue, total-unloaded)
 }
 
 // fifo clamps a delivery time so packets between the same endpoints arrive
@@ -328,6 +350,9 @@ type Ideal struct {
 	Latency       uint64 // flat one-way latency
 	PerByte       uint64 // additional cycles per byte (can be zero)
 	BytesPerCycle int    // wire rate; 0 = infinite
+	// Prof mirrors Mesh.Prof: constant latency plus serialization is
+	// transit; the FIFO clamp is the only queueing an ideal network has.
+	Prof *metrics.Profiler
 
 	lastArrival []sim.Time // dense per-pair floor, sized N*N on first use
 }
@@ -370,9 +395,14 @@ func (i *Ideal) arrival(src, dst int, bytes int, at sim.Time) sim.Time {
 	// the resume of the processor its grant just woke, livelocking the
 	// retry loop.
 	pair := src*i.N + dst
+	unloaded := uint64(t - at)
 	if prev := i.lastArrival[pair]; t <= prev {
 		t = prev + 1
 	}
 	i.lastArrival[pair] = t
+	if i.Prof != nil {
+		i.Prof.Add(src, metrics.NetTransit, unloaded)
+		i.Prof.Add(src, metrics.NetQueue, uint64(t-at)-unloaded)
+	}
 	return t
 }

@@ -20,6 +20,13 @@ type Context struct {
 	gen uint64
 	// blocked is informational: true while parked with no wake event queued.
 	blocked bool
+
+	// BlockNote, when non-nil, observes every Block on this context: it is
+	// called with the park time and the wake time once the context resumes.
+	// The metrics layer hangs cycle attribution off it — why the context
+	// woke is known to the caller that parked, so the caller tags the wait
+	// and this hook supplies the measured duration. Nil costs one branch.
+	BlockNote func(parked, woke Time)
 }
 
 // Name returns the context's debug name.
@@ -110,6 +117,12 @@ func (c *Context) Sleep(d uint64) { c.WaitUntil(c.eng.now + d) }
 // draining while contexts remain.
 func (c *Context) Block() {
 	c.blocked = true
+	if c.BlockNote != nil {
+		t0 := c.eng.now
+		c.yieldToEngine()
+		c.BlockNote(t0, c.eng.now)
+		return
+	}
 	c.yieldToEngine()
 }
 

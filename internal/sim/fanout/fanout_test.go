@@ -49,6 +49,51 @@ func TestWorkersClamp(t *testing.T) {
 	}
 }
 
+// withProcs raises GOMAXPROCS so the worker-pool path is reachable even on
+// a single-CPU machine (Workers clamps to GOMAXPROCS, so without this every
+// call degenerates to the serial loop).
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+func TestRunWorkerPoolMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	job := func(i int) int { return 3*i + 1 }
+	serial := Run(50, 1, job)
+	par := Run(50, 4, job)
+	for i := range serial {
+		if par[i] != serial[i] {
+			t.Fatalf("result[%d]=%d, want %d", i, par[i], serial[i])
+		}
+	}
+}
+
+func TestRunClampsWorkersToJobs(t *testing.T) {
+	withProcs(t, 8)
+	// More workers than jobs: the pool must shrink to n, not deadlock or
+	// leave idle feeders.
+	got := Run(3, 8, func(i int) int { return i + 1 })
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("results = %v", got)
+	}
+}
+
+func TestRunWorkerPoolEachJobOnce(t *testing.T) {
+	withProcs(t, 4)
+	var calls [257]int32
+	Run(len(calls), 4, func(i int) struct{} {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
 func TestRunBoundsConcurrency(t *testing.T) {
 	if runtime.GOMAXPROCS(0) < 2 {
 		t.Skip("needs >1 CPU to observe concurrency")

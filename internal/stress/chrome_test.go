@@ -1,0 +1,40 @@
+package stress
+
+import (
+	"bytes"
+	"testing"
+
+	"alewife/internal/trace"
+)
+
+// The Chrome-export golden: for a fixed stress seed, exporting the captured
+// trace ring to Chrome trace_event JSON is byte-identical across runs. This
+// pins both the simulator's determinism (same seed → same event stream) and
+// the exporter's (same events → same bytes); `make test` runs it under
+// -race, so it also proves the export path is data-race free.
+func TestChromeJSONByteIdentical(t *testing.T) {
+	cfg := DefaultConfig(0x1)
+	cfg.Ops = 300
+	cfg.TraceCap = 1 << 20
+	cfg.Capture = true
+
+	export := func() []byte {
+		res := Execute(cfg, Generate(cfg))
+		if res.Failed() {
+			t.Fatalf("clean run failed: %v", res.Violations)
+		}
+		if len(res.TraceEvents) == 0 {
+			t.Fatal("capture produced no trace events")
+		}
+		var out bytes.Buffer
+		if err := trace.ChromeJSON(&out, res.TraceEvents); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Chrome export differs across identical runs (len %d vs %d)", len(a), len(b))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"alewife/internal/mem"
 	"alewife/internal/sim"
 	"alewife/internal/stats"
+	"alewife/internal/trace"
 )
 
 // Message types owned by the stress harness.
@@ -30,9 +31,10 @@ type Result struct {
 	TraceTail  string   // last trace events before the first violation
 
 	// Populated only when Config.Capture is set.
-	History     []HistOp // every tracked access, in execution order
-	TraceDigest uint64   // trace ring fingerprint (trace.Buffer.Digest)
-	StatsText   string   // global counters, one per line, sorted
+	History     []HistOp      // every tracked access, in execution order
+	TraceDigest uint64        // trace ring fingerprint (trace.Buffer.Digest)
+	TraceEvents []trace.Event // retained trace ring, oldest first
+	StatsText   string        // global counters, one per line, sorted
 }
 
 // Failed reports whether any oracle fired.
@@ -240,6 +242,7 @@ func Execute(cfg Config, prog [][]Op) Result {
 	if cfg.Capture {
 		res.History = hist
 		res.TraceDigest = m.Trace.Digest()
+		res.TraceEvents = m.Trace.Events()
 		res.StatsText = m.St.String()
 	}
 

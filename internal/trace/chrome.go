@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Chrome trace_event exporter. The output loads directly into Perfetto
+// (ui.perfetto.dev) or chrome://tracing: one process (the machine), one
+// "thread" per node, each trace event an instant event at its cycle
+// timestamp. Timestamps are simulated cycles, not microseconds — the
+// viewer's time axis reads in cycles.
+//
+// The JSON is built by hand so the bytes are a pure function of the event
+// slice: fixed field order, no map iteration, no float formatting. Equal
+// event slices encode to identical bytes, which the determinism goldens
+// rely on.
+
+// KindCount is one row of a per-kind aggregation.
+type KindCount struct {
+	Kind  Kind
+	Count int
+}
+
+// KindCounts aggregates retained events per kind, ordered by kind. It is
+// the deterministic companion to CountByKind: consumers that print or hash
+// the aggregation should iterate this slice, never the map.
+func (b *Buffer) KindCounts() []KindCount {
+	var counts [kMax]int
+	for _, e := range b.Events() {
+		if int(e.Kind) < len(counts) {
+			counts[e.Kind]++
+		}
+	}
+	var out []KindCount
+	for k, c := range counts {
+		if c > 0 {
+			out = append(out, KindCount{Kind: Kind(k), Count: c})
+		}
+	}
+	return out
+}
+
+// NodeCount is one row of a per-node aggregation.
+type NodeCount struct {
+	Node  int
+	Count int
+}
+
+// NodeCounts aggregates retained events per node, ordered by node id —
+// the deterministic companion to NodeActivity.
+func (b *Buffer) NodeCounts() []NodeCount {
+	m := b.NodeActivity()
+	nodes := make([]int, 0, len(m))
+	for n := range m {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	out := make([]NodeCount, len(nodes))
+	for i, n := range nodes {
+		out[i] = NodeCount{Node: n, Count: m[n]}
+	}
+	return out
+}
+
+// ChromeJSON writes events in Chrome trace_event format (JSON array form
+// wrapped in a traceEvents object). Events are written in the order given;
+// Buffer.ChromeJSON passes them oldest-first, so equal traces produce
+// byte-identical output.
+func ChromeJSON(w io.Writer, evs []Event) error {
+	var sb strings.Builder
+	sb.WriteString("{\"traceEvents\":[")
+	for i, e := range evs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb,
+			"\n{\"name\":%q,\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"arg\":%d}}",
+			e.Kind.String(), e.At, e.Node, e.Arg)
+	}
+	sb.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ChromeJSON exports the retained events, oldest first.
+func (b *Buffer) ChromeJSON(w io.Writer) error {
+	return ChromeJSON(w, b.Events())
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleBuffer() *Buffer {
+	b := New(16)
+	b.Emit(10, 0, KMiss, 0x40)
+	b.Emit(12, 1, KFill, 0x40)
+	b.Emit(20, 2, KMsgSend, 7)
+	b.Emit(25, 2, KMsgRecv, 7)
+	b.Emit(30, 0, KMiss, 0x80)
+	return b
+}
+
+func TestChromeJSONShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := sampleBuffer().ChromeJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		`{"traceEvents":[`,
+		`{"name":"miss","ph":"i","ts":10,"pid":0,"tid":0,"s":"t","args":{"arg":64}}`,
+		`{"name":"msg-send","ph":"i","ts":20,"pid":0,"tid":2,"s":"t","args":{"arg":7}}`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.HasSuffix(s, "}\n") {
+		t.Errorf("output not terminated: %q", s[len(s)-10:])
+	}
+}
+
+func TestChromeJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleBuffer().ChromeJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleBuffer().ChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two identical buffers encoded differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestChromeJSONEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := ChromeJSON(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}\n"
+	if out.String() != want {
+		t.Errorf("empty trace = %q, want %q", out.String(), want)
+	}
+}
+
+func TestKindCountsSortedAndMatchesMap(t *testing.T) {
+	b := sampleBuffer()
+	kcs := b.KindCounts()
+	m := b.CountByKind()
+	if len(kcs) != len(m) {
+		t.Fatalf("KindCounts has %d rows, map has %d", len(kcs), len(m))
+	}
+	for i, kc := range kcs {
+		if i > 0 && kcs[i-1].Kind >= kc.Kind {
+			t.Errorf("KindCounts not strictly ordered at %d: %v then %v", i, kcs[i-1].Kind, kc.Kind)
+		}
+		if m[kc.Kind] != kc.Count {
+			t.Errorf("KindCounts[%v] = %d, map says %d", kc.Kind, kc.Count, m[kc.Kind])
+		}
+	}
+}
+
+func TestNodeCountsSortedAndMatchesMap(t *testing.T) {
+	b := sampleBuffer()
+	ncs := b.NodeCounts()
+	m := b.NodeActivity()
+	if len(ncs) != len(m) {
+		t.Fatalf("NodeCounts has %d rows, map has %d", len(ncs), len(m))
+	}
+	for i, nc := range ncs {
+		if i > 0 && ncs[i-1].Node >= nc.Node {
+			t.Errorf("NodeCounts not strictly ordered at %d", i)
+		}
+		if m[nc.Node] != nc.Count {
+			t.Errorf("NodeCounts[%d] = %d, map says %d", nc.Node, nc.Count, m[nc.Node])
+		}
+	}
+}
+
+func TestSummaryUsesSortedKinds(t *testing.T) {
+	s := sampleBuffer().Summary()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("summary lines = %d, want 4:\n%s", len(lines), s)
+	}
+	// miss < fill < msg-send < msg-recv in kind order.
+	for i, prefix := range []string{"miss", "fill", "msg-send", "msg-recv"} {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Errorf("summary line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+}

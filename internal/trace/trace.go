@@ -9,7 +9,6 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -182,15 +181,9 @@ func (b *Buffer) Digest() uint64 {
 
 // Summary renders per-kind counts, sorted by kind.
 func (b *Buffer) Summary() string {
-	counts := b.CountByKind()
-	kinds := make([]Kind, 0, len(counts))
-	for k := range counts {
-		kinds = append(kinds, k)
-	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	var sb strings.Builder
-	for _, k := range kinds {
-		fmt.Fprintf(&sb, "%-12s %8d\n", k, counts[k])
+	for _, kc := range b.KindCounts() {
+		fmt.Fprintf(&sb, "%-12s %8d\n", kc.Kind, kc.Count)
 	}
 	return sb.String()
 }
