@@ -1,8 +1,10 @@
 # Tier-1 verification: what CI (and the roadmap) gate on.
 #
 #   make check     build, vet, full test suite under the race detector,
-#                  then a protocol stress smoke (8 seeds, 2000 ops/node,
-#                  live invariants + per-location SC history checking)
+#                  then protocol stress smokes (8 seeds, 2000 ops/node,
+#                  live invariants + per-location SC history checking) on
+#                  both perfect and lossy wires (seeded drop/dup/reorder
+#                  with reliable delivery recovering)
 #   make stress    the longer fuzz run used before cutting a release
 #   make perf      fixed workload suite -> BENCH_sim.json (ops/sec,
 #                  wall-clock, allocs/op); later PRs gate on regressions
@@ -21,9 +23,9 @@ GO ?= go
 
 COVER_FLOOR ?= 60
 
-.PHONY: check build vet test cover stress-smoke stress bench perf perf-check
+.PHONY: check build vet test cover stress-smoke stress-smoke-lossy stress bench perf perf-check
 
-check: build vet test cover stress-smoke perf-check
+check: build vet test cover stress-smoke stress-smoke-lossy perf-check
 
 build:
 	$(GO) build ./...
@@ -47,8 +49,12 @@ cover:
 stress-smoke:
 	$(GO) run ./cmd/alewife-stress -ops 2000 -seeds 8 -parallel 0
 
+stress-smoke-lossy:
+	$(GO) run ./cmd/alewife-stress -loss -ops 2000 -seeds 8 -parallel 0
+
 stress:
 	$(GO) run ./cmd/alewife-stress -ops 5000 -seeds 64 -parallel 0
+	$(GO) run ./cmd/alewife-stress -loss -ops 5000 -seeds 64 -parallel 0
 
 bench:
 	$(GO) run ./cmd/alewife-bench -all -parallel 0

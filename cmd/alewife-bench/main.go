@@ -36,11 +36,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "trimmed parameter sweeps")
 	csvDir := fs.String("csv", "", "also write <experiment>.csv files to this directory")
 	parallel := fs.Int("parallel", 1, "worker goroutines for independent simulations (0 = all cores); output order is unchanged")
+	loss := fs.Float64("loss", 0, "per-packet drop/dup/reorder probability; >0 reruns the evaluation over lossy wires with reliable delivery")
+	netseed := fs.Uint64("netseed", 0, "fault-schedule seed for -loss (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *loss < 0 || *loss > 0.5 {
+		fmt.Fprintln(stderr, "-loss must be in [0, 0.5]")
+		return 2
+	}
 
-	cfg := bench.Config{Nodes: *nodes, Quick: *quick, CSVDir: *csvDir, Parallel: fanout.Workers(*parallel)}
+	cfg := bench.Config{Nodes: *nodes, Quick: *quick, CSVDir: *csvDir,
+		Parallel: fanout.Workers(*parallel), Loss: *loss, NetSeed: *netseed}
 	switch {
 	case *list:
 		for _, e := range bench.Experiments() {

@@ -47,6 +47,27 @@ func TestUnknownExperimentExitsOne(t *testing.T) {
 	}
 }
 
+func TestLossFlagChangesResultsDeterministically(t *testing.T) {
+	clean, _, code := runBench(t, "-experiment", "fig7", "-nodes", "4", "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	a, _, codeA := runBench(t, "-experiment", "fig7", "-nodes", "4", "-quick", "-loss", "0.01")
+	b, _, codeB := runBench(t, "-experiment", "fig7", "-nodes", "4", "-quick", "-loss", "0.01")
+	if codeA != 0 || codeB != 0 {
+		t.Fatalf("lossy exits %d, %d", codeA, codeB)
+	}
+	if a != b {
+		t.Fatal("identical lossy invocations produced different output")
+	}
+	if a == clean {
+		t.Fatal("-loss 0.01 changed nothing: faults not reaching the experiment")
+	}
+	if _, _, code := runBench(t, "-experiment", "fig7", "-loss", "0.9"); code != 2 {
+		t.Errorf("absurd -loss: exit %d, want 2", code)
+	}
+}
+
 func TestNoActionExitsTwo(t *testing.T) {
 	if _, _, code := runBench(t); code != 2 {
 		t.Errorf("no action: exit %d, want 2", code)

@@ -163,6 +163,7 @@ type suiteSizes struct {
 	seedOps         int
 	dirAcc, meshPkt int64
 	dmaMsgs         int64
+	lossPkt         int64
 	batchSeeds      int
 	benchNodes      int
 }
@@ -175,12 +176,12 @@ func sizes(quick bool) suiteSizes {
 	s := suiteSizes{
 		churnN: 2_000_000, switchN: 200_000, seedOps: 2000,
 		dirAcc: 30_000, meshPkt: 1_000_000, dmaMsgs: 10_000,
-		batchSeeds: 16, benchNodes: 16,
+		lossPkt: 300_000, batchSeeds: 16, benchNodes: 16,
 	}
 	if quick {
 		s.churnN, s.switchN, s.seedOps = 500_000, 50_000, 500
 		s.dirAcc, s.meshPkt, s.dmaMsgs = 8_000, 250_000, 2_500
-		s.batchSeeds = 8
+		s.lossPkt, s.batchSeeds = 80_000, 8
 	}
 	return s
 }
@@ -219,6 +220,12 @@ func runnersFor(s suiteSizes) []runner {
 		{"dir-churn", "accesses", func() int64 { return dirChurn(s.dirAcc) }},
 		{"mesh-saturation", "packets", func() int64 { return meshSaturation(s.meshPkt) }},
 		{"dma-bulk", "words", func() int64 { return dmaBulk(s.dmaMsgs) }},
+		// The net-loss family prices reliable delivery against bare
+		// mesh-saturation: 0% isolates the sublayer's fixed overhead
+		// (headers, acks, windows), 0.1% and 1% add recovery.
+		{"net-loss-0", "packets", func() int64 { return netLoss(0, s.lossPkt) }},
+		{"net-loss-0.1", "packets", func() int64 { return netLoss(0.001, s.lossPkt) }},
+		{"net-loss-1", "packets", func() int64 { return netLoss(0.01, s.lossPkt) }},
 	}
 }
 

@@ -18,7 +18,7 @@ func tinySizes(t *testing.T) {
 		return suiteSizes{
 			churnN: 2_000, switchN: 500, seedOps: 50,
 			dirAcc: 200, meshPkt: 2_000, dmaMsgs: 100,
-			batchSeeds: 2, benchNodes: 4,
+			lossPkt: 2_000, batchSeeds: 2, benchNodes: 4,
 		}
 	}
 	t.Cleanup(func() { sizesFor = old })
@@ -72,6 +72,34 @@ func TestSnapshotRoundTripAndCheck(t *testing.T) {
 	}
 	if !strings.Contains(checkOut, "attrib-jacobi-hybrid") {
 		t.Errorf("check skipped attribution gate:\n%s", checkOut)
+	}
+}
+
+func TestNetLossWorkloadsDeliverEverything(t *testing.T) {
+	const total = 2_000
+	for _, rate := range []float64{0, 0.001, 0.01} {
+		if got := netLoss(rate, total); got != total {
+			t.Errorf("netLoss(%g): delivered %d of %d packets", rate, got, total)
+		}
+	}
+	// Same seed, same schedule: the workload must be reproducible for the
+	// ns/op gate to mean anything.
+	if a, b := netLoss(0.01, total), netLoss(0.01, total); a != b {
+		t.Errorf("netLoss not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestNetLossFamilyInSnapshot(t *testing.T) {
+	tinySizes(t)
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	out, errOut, code := runPerf(t, "-quick", "-parallel", "1", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, name := range []string{"net-loss-0", "net-loss-0.1", "net-loss-1"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("summary missing %q:\n%s", name, out)
+		}
 	}
 }
 

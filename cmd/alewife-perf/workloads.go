@@ -57,7 +57,7 @@ func dirChurn(accessesPerNode int64) int64 {
 // the steady state allocates nothing. Returns packets delivered.
 type satDriver struct {
 	eng       *sim.Engine
-	m         *mesh.Mesh
+	net       mesh.Network
 	n         int
 	remaining int64
 }
@@ -79,14 +79,13 @@ func (s *satDriver) launch(src, hop int) {
 	}
 	// A fixed co-prime stride visits every (src,dst) pair class.
 	dst := (src + 13 + hop%7) % s.n
-	s.m.SendMsg(src, dst, satSizes[hop%len(satSizes)], s.eng.Now(),
+	s.net.SendMsg(src, dst, satSizes[hop%len(satSizes)], s.eng.Now(),
 		s, 0, uint64(dst), uint64(hop))
 }
 
-func meshSaturation(total int64) int64 {
-	eng := sim.NewEngine()
-	m := mesh.New(eng, 8, 8, mesh.DefaultParams(), nil)
-	s := &satDriver{eng: eng, m: m, n: m.Nodes(), remaining: total}
+// saturate drives the standing packet population over any network.
+func saturate(eng *sim.Engine, net mesh.Network, total int64) int64 {
+	s := &satDriver{eng: eng, net: net, n: net.Nodes(), remaining: total}
 	const standing = 64
 	for i := 0; i < standing; i++ {
 		i := i
@@ -94,6 +93,29 @@ func meshSaturation(total int64) int64 {
 	}
 	eng.Run()
 	return total - s.remaining
+}
+
+func meshSaturation(total int64) int64 {
+	eng := sim.NewEngine()
+	return saturate(eng, mesh.New(eng, 8, 8, mesh.DefaultParams(), nil), total)
+}
+
+// netLoss is meshSaturation through the reliable-delivery sublayer: the same
+// standing packet population, but every packet carries a sequence header, is
+// acknowledged, deduplicated and — at rate > 0 — dropped/duplicated/
+// reordered by the wires and recovered by retransmission. rate 0 prices the
+// sublayer itself (headers, acks, window bookkeeping) with no faults firing;
+// nonzero rates add the recovery machinery's cost. Returns packets
+// delivered end to end.
+func netLoss(rate float64, total int64) int64 {
+	eng := sim.NewEngine()
+	p := mesh.DefaultParams()
+	if rate > 0 {
+		p.Fault = &mesh.NetFault{Seed: 1, Drop: rate, Dup: rate, Reorder: rate}
+	}
+	inner := mesh.New(eng, 8, 8, p, nil)
+	rel := cmmu.NewReliable(eng, inner, cmmu.DefaultRelParams(), nil)
+	return saturate(eng, rel, total)
 }
 
 // dmaBulk measures the CMMU bulk-transfer path: 4 nodes stream messages that

@@ -7,7 +7,9 @@
 //
 //	alewife-stress -ops 5000 -seeds 64        # fuzz 64 seeds
 //	alewife-stress -seeds 64 -parallel 8      # same seeds, 8 workers
+//	alewife-stress -loss -seeds 64            # same, over seed-derived lossy wires
 //	alewife-stress -seed 0x2a                 # replay one failing seed
+//	alewife-stress -loss -seed 0x2a           # replay it with its fault schedule
 //	alewife-stress -seed 0x2a -shrink         # and minimize the program
 //
 // Every failure prints a one-line repro; re-running it reproduces the
@@ -27,11 +29,15 @@ import (
 
 	"alewife/internal/cmmu"
 	"alewife/internal/mem"
+	"alewife/internal/mesh"
 	"alewife/internal/sim/fanout"
 	"alewife/internal/stress"
 )
 
 // faults maps -fault names to injected protocol mutations (checker demos).
+// The rel-* entries break the reliability sublayer instead of the coherence
+// protocol; the ones that only misbehave on faulty wires pair themselves
+// with the loss regime they need.
 var faults = map[string]func(cfg *stress.Config){
 	"drop-inval":     func(c *stress.Config) { c.MemFault = &mem.Fault{DropInval: true} },
 	"forget-sharer":  func(c *stress.Config) { c.MemFault = &mem.Fault{ForgetSharer: true} },
@@ -40,6 +46,20 @@ var faults = map[string]func(cfg *stress.Config){
 	"wb-to-shared":   func(c *stress.Config) { c.MemFault = &mem.Fault{WBToShared: true} },
 	"drop-writeback": func(c *stress.Config) { c.MemFault = &mem.Fault{DropWriteback: true} },
 	"drain-masked":   func(c *stress.Config) { c.CMMUFault = &cmmu.Fault{DrainMasked: true} },
+	"drop-ack":       func(c *stress.Config) { c.RelFault = &cmmu.RelFault{DropAck: true} },
+	"accept-stale": func(c *stress.Config) {
+		c.RelFault = &cmmu.RelFault{AcceptStale: true}
+		if c.NetFault == nil {
+			c.NetFault = &mesh.NetFault{Dup: 0.05}
+		}
+	},
+	"dedup-off-by-one": func(c *stress.Config) { c.RelFault = &cmmu.RelFault{DedupOffByOne: true} },
+	"no-retransmit": func(c *stress.Config) {
+		c.RelFault = &cmmu.RelFault{NoRetransmit: true}
+		if c.NetFault == nil {
+			c.NetFault = &mesh.NetFault{Drop: 0.02}
+		}
+	},
 }
 
 func faultNames() []string {
@@ -72,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lines := fs.Int("lines", 6, "contended cache lines")
 	shrink := fs.Bool("shrink", false, "minimize failing programs before reporting")
 	fault := fs.String("fault", "", "inject a protocol mutation (demos the checkers)")
+	loss := fs.Bool("loss", false, "run over lossy wires: drop/dup/reorder rates derived from each seed")
+	netseed := fs.Uint64("netseed", 0, "override the fault-schedule seed (0 = derive from the run seed)")
 	parallel := fs.Int("parallel", 1, "worker goroutines for independent seeds (0 = all cores); output stays in seed order")
 	verbose := fs.Bool("v", false, "print per-seed progress")
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +117,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Ops = *ops
 		cfg.Nodes = *nodes
 		cfg.Lines = *lines
+		if *loss {
+			cfg.NetFault = stress.LossFromSeed(cfg.Seed)
+		}
 		inject(&cfg)
+		if *netseed != 0 {
+			if cfg.NetFault == nil {
+				cfg.NetFault = stress.LossFromSeed(cfg.Seed)
+			}
+			cfg.NetFault.Seed = *netseed
+		}
 		res := stress.Run(cfg)
 		var b strings.Builder
 		if res.Failed() {

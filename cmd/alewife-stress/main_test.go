@@ -45,6 +45,43 @@ func TestParallelOutputMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestLossyCleanSeedsExitZero(t *testing.T) {
+	out, _, code := runStress(t, "-loss", "-seeds", "2", "-ops", "200")
+	if code != 0 {
+		t.Fatalf("lossy clean run exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 failing") {
+		t.Errorf("summary line malformed:\n%s", out)
+	}
+}
+
+func TestLossyReplayByteIdentical(t *testing.T) {
+	a, _, codeA := runStress(t, "-loss", "-seed", "0x2a", "-ops", "300", "-v")
+	b, _, codeB := runStress(t, "-loss", "-seed", "0x2a", "-ops", "300", "-v")
+	if codeA != 0 || codeB != 0 {
+		t.Fatalf("exits %d, %d:\n%s", codeA, codeB, a)
+	}
+	if a != b {
+		t.Fatal("replaying a lossy seed changed the output bytes")
+	}
+	// An explicit -netseed changes the fault schedule but not determinism.
+	c, _, _ := runStress(t, "-loss", "-seed", "0x2a", "-netseed", "0x7", "-ops", "300", "-v")
+	d, _, _ := runStress(t, "-loss", "-seed", "0x2a", "-netseed", "0x7", "-ops", "300", "-v")
+	if c != d {
+		t.Fatal("-netseed replay changed the output bytes")
+	}
+}
+
+func TestReliabilityFaultExitsNonZeroWithLossyRepro(t *testing.T) {
+	out, _, code := runStress(t, "-loss", "-seed", "1", "-ops", "400", "-fault", "no-retransmit")
+	if code != 1 {
+		t.Fatalf("broken-reliability run exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "reproduce: alewife-stress -loss -netseed") {
+		t.Errorf("repro line does not carry the loss regime:\n%s", out)
+	}
+}
+
 func TestUnknownFaultExitsTwo(t *testing.T) {
 	_, errOut, code := runStress(t, "-fault", "bogus")
 	if code != 2 {

@@ -12,6 +12,7 @@
 //	alewife-trace [-nodes 8] [-mode hybrid|sm] [-workload grain|jacobi|barrier] [-tail 40]
 //	alewife-trace -workload jacobi -chrome trace.json
 //	alewife-trace -workload grain -attrib
+//	alewife-trace -workload jacobi -loss 0.01    # 1% lossy wires; watch retransmits
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"alewife"
 	"alewife/internal/apps"
 	"alewife/internal/machine"
+	"alewife/internal/mesh"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tail := fs.Int("tail", 40, "trace events to print")
 	chrome := fs.String("chrome", "", "also write the event stream as Chrome trace_event JSON to this file ('-' for stdout)")
 	attrib := fs.Bool("attrib", false, "profile the run and print the per-bucket cycle attribution")
+	loss := fs.Float64("loss", 0, "per-packet drop/dup/reorder probability; >0 runs over lossy wires with the reliable sublayer (retransmit and dup-drop events show in the trace)")
+	netseed := fs.Uint64("netseed", 1, "fault-schedule seed for -loss")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,8 +53,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mode must be hybrid or sm")
 		return 1
 	}
+	if *loss < 0 || *loss > 0.5 {
+		fmt.Fprintln(stderr, "-loss must be in [0, 0.5]")
+		return 1
+	}
 
-	m := alewife.NewMachine(*nodes)
+	cfg := machine.DefaultConfig(*nodes)
+	if *loss > 0 {
+		cfg.Net.Fault = &mesh.NetFault{Seed: *netseed, Drop: *loss, Dup: *loss, Reorder: *loss}
+	}
+	m := alewife.NewMachineWith(cfg)
 	buf := m.EnableTrace(1 << 16)
 	prof := m.Prof
 	if *attrib {

@@ -82,6 +82,28 @@ func TestChromeExportIsValidJSONAndDeterministic(t *testing.T) {
 	}
 }
 
+func TestLossyTraceShowsRecoveryAndStaysDeterministic(t *testing.T) {
+	a, errOut, code := runTrace(t, "-nodes", "4", "-workload", "jacobi", "-loss", "0.01")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"rel.acks", "net.fault"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("lossy run shows no %q counter:\n%s", want, a)
+		}
+	}
+	b, _, _ := runTrace(t, "-nodes", "4", "-workload", "jacobi", "-loss", "0.01")
+	if a != b {
+		t.Fatal("identical lossy invocations produced different output")
+	}
+	if c, _, _ := runTrace(t, "-nodes", "4", "-workload", "jacobi", "-loss", "0.01", "-netseed", "9"); c == a {
+		t.Fatal("-netseed did not change the fault schedule")
+	}
+	if _, _, code := runTrace(t, "-loss", "0.9"); code == 0 {
+		t.Error("absurd -loss accepted")
+	}
+}
+
 func TestAttribFlagPrintsBuckets(t *testing.T) {
 	out, errOut, code := runTrace(t, "-nodes", "4", "-workload", "grain", "-attrib")
 	if code != 0 {

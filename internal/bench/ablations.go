@@ -47,7 +47,7 @@ func runAblateLimitless(cfg Config, w io.Writer) {
 	fmt.Fprintf(w, "%d nodes read one line, then node 1 writes it\n", nodes)
 	fmt.Fprintf(w, "%-12s %14s %16s %16s\n", "hw pointers", "write cycles", "sw trap cycles", "overflows")
 	for _, k := range []int{1, 2, 5, 8, 16, 64} {
-		mcfg := machine.DefaultConfig(nodes)
+		mcfg := machCfg(cfg, nodes)
 		mcfg.Mem.HWPointers = k
 		m := machine.New(mcfg)
 		hot := m.Store.AllocOn(0, mem.LineWords)
@@ -84,7 +84,7 @@ func runAblateSteal(cfg Config, w io.Writer) {
 		}
 		var cyc [2]uint64
 		for i, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-			rt := core.New(newMachine(cfg.Nodes), mode, core.DefaultParams(), pol)
+			rt := core.New(newMachine(cfg, cfg.Nodes), mode, core.DefaultParams(), pol)
 			r := apps.GrainParallel(rt, depth, 0)
 			cyc[i] = r.Cycles
 		}
@@ -101,7 +101,7 @@ func runAblateNetwork(cfg Config, w io.Writer) {
 		"router delay", "SM barrier", "MP barrier", "SM copy", "MP copy")
 	for _, d := range []uint64{1, 4, 16} {
 		mk := func(mode core.Mode) *core.RT {
-			mcfg := machine.DefaultConfig(cfg.Nodes)
+			mcfg := machCfg(cfg, cfg.Nodes)
 			mcfg.Net.RouterDelay = d
 			return core.NewDefault(machine.New(mcfg), mode)
 		}
@@ -109,7 +109,7 @@ func runAblateNetwork(cfg Config, w io.Writer) {
 		mpBar := barrierCyclesRT(mk(core.ModeHybrid))
 
 		copyCycles := func(kind apps.CopyKind) uint64 {
-			mcfg := machine.DefaultConfig(cfg.Nodes)
+			mcfg := machCfg(cfg, cfg.Nodes)
 			mcfg.Net.RouterDelay = d
 			rt := core.NewDefault(machine.New(mcfg), core.ModeHybrid)
 			return apps.Memcpy(rt, 1, 1024, kind).Cycles
@@ -149,18 +149,18 @@ func runAblatePrefetch(cfg Config, w io.Writer) {
 	const words = 512
 	fmt.Fprintf(w, "sum %d remote words, prefetch distance sweep\n", words)
 	fmt.Fprintf(w, "%-10s %12s %14s\n", "distance", "cycles", "vs no-prefetch")
-	base := accumDistance(cfg.Nodes, words, 0)
+	base := accumDistance(cfg, cfg.Nodes, words, 0)
 	fmt.Fprintf(w, "%-10d %12d %14s\n", 0, base, "1.00")
 	for _, dist := range []int{1, 2, 4, 8} {
-		c := accumDistance(cfg.Nodes, words, dist)
+		c := accumDistance(cfg, cfg.Nodes, words, dist)
 		fmt.Fprintf(w, "%-10d %12d %14.2f\n", dist, c, float64(base)/float64(c))
 	}
 }
 
 // accumDistance is AccumSM with a configurable prefetch distance (0 = no
 // prefetching).
-func accumDistance(nodes int, words uint64, dist int) uint64 {
-	m := newMachine(nodes)
+func accumDistance(cfg Config, nodes int, words uint64, dist int) uint64 {
+	m := newMachine(cfg, nodes)
 	arr := m.Store.AllocOn(1, words)
 	var cycles uint64
 	m.Spawn(0, 0, "accum", func(p *machine.Proc) {

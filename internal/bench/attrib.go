@@ -19,15 +19,15 @@ import (
 // doubles as an end-to-end test of the profiler on real workloads.
 
 // profiledMachine builds a machine with attribution enabled.
-func profiledMachine(nodes int) (*machine.Machine, *metrics.Profiler) {
-	m := newMachine(nodes)
+func profiledMachine(cfg Config, nodes int) (*machine.Machine, *metrics.Profiler) {
+	m := newMachine(cfg, nodes)
 	return m, m.EnableMetrics()
 }
 
 // profiledRT builds a runtime with attribution enabled (the profiler must
 // attach before the runtime spawns its schedulers).
-func profiledRT(nodes int, mode core.Mode) (*core.RT, *metrics.Profiler) {
-	m, prof := profiledMachine(nodes)
+func profiledRT(cfg Config, nodes int, mode core.Mode) (*core.RT, *metrics.Profiler) {
+	m, prof := profiledMachine(cfg, nodes)
 	return core.NewDefault(m, mode), prof
 }
 
@@ -68,7 +68,7 @@ func emitAttrib(t *Table, cfg Config, w io.Writer) {
 func fig7Attrib(cfg Config, w io.Writer) {
 	t := newAttribTable("fig7_attrib")
 	for _, kind := range []apps.CopyKind{apps.CopyNoPrefetch, apps.CopyPrefetch, apps.CopyMessage} {
-		rt, prof := profiledRT(cfg.Nodes, core.ModeHybrid)
+		rt, prof := profiledRT(cfg, cfg.Nodes, core.ModeHybrid)
 		apps.Memcpy(rt, 1, 4096, kind)
 		addAttribRow(t, kind.String(), rt.M, prof)
 	}
@@ -78,10 +78,10 @@ func fig7Attrib(cfg Config, w io.Writer) {
 // fig8Attrib contrasts the accumulate loop's SM and MP flavours.
 func fig8Attrib(cfg Config, w io.Writer) {
 	t := newAttribTable("fig8_attrib")
-	m, prof := profiledMachine(cfg.Nodes)
+	m, prof := profiledMachine(cfg, cfg.Nodes)
 	apps.AccumSM(m, 1, 512)
 	addAttribRow(t, "accum-sm", m, prof)
-	rt, prof2 := profiledRT(cfg.Nodes, core.ModeHybrid)
+	rt, prof2 := profiledRT(cfg, cfg.Nodes, core.ModeHybrid)
 	apps.AccumMP(rt, 1, 512)
 	addAttribRow(t, "accum-mp", rt.M, prof2)
 	emitAttrib(t, cfg, w)
@@ -95,7 +95,7 @@ func fig9Attrib(cfg Config, w io.Writer) {
 	}
 	t := newAttribTable("fig9_attrib")
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		rt, prof := profiledRT(cfg.Nodes, mode)
+		rt, prof := profiledRT(cfg, cfg.Nodes, mode)
 		apps.GrainParallel(rt, depth, 100)
 		addAttribRow(t, "grain-"+mode.String(), rt.M, prof)
 	}
@@ -110,7 +110,7 @@ func fig10Attrib(cfg Config, w io.Writer) {
 	}
 	t := newAttribTable("fig10_attrib")
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		rt, prof := profiledRT(cfg.Nodes, mode)
+		rt, prof := profiledRT(cfg, cfg.Nodes, mode)
 		apps.AQParallel(rt, tol)
 		addAttribRow(t, "aq-"+mode.String(), rt.M, prof)
 	}

@@ -27,9 +27,9 @@ func init() {
 }
 
 // barrierCycles measures steady-state cycles per barrier episode.
-func barrierCycles(nodes int, mode core.Mode, msgArity, smArity int) uint64 {
+func barrierCycles(cfg Config, nodes int, mode core.Mode, msgArity, smArity int) uint64 {
 	const warm, meas = 2, 6
-	rt := newRT(nodes, mode)
+	rt := newRT(cfg, nodes, mode)
 	rt.Barrier().SetArity(msgArity, smArity)
 	var start, end uint64
 	total := rt.SPMD(func(p *machine.Proc) {
@@ -53,8 +53,8 @@ func barrierCycles(nodes int, mode core.Mode, msgArity, smArity int) uint64 {
 }
 
 func runBarrier(cfg Config, w io.Writer) {
-	sm := barrierCycles(cfg.Nodes, core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity)
-	mp := barrierCycles(cfg.Nodes, core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity)
+	sm := barrierCycles(cfg, cfg.Nodes, core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity)
+	mp := barrierCycles(cfg, cfg.Nodes, core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity)
 	t := NewTable("barrier", "implementation", "cycles", "usec", "paper_cycles")
 	t.Add("shared-memory (binary tree)", sm, micros(sm), 1650)
 	t.Add("message (8-ary tree)", mp, micros(mp), 660)
@@ -72,8 +72,8 @@ func runBarrierArity(cfg Config, w io.Writer) {
 	type point struct{ sm, mp uint64 }
 	pts := parMap(cfg, len(arities), func(i int) point {
 		return point{
-			sm: barrierCycles(cfg.Nodes, core.ModeSharedMemory, arities[i], arities[i]),
-			mp: barrierCycles(cfg.Nodes, core.ModeHybrid, arities[i], arities[i]),
+			sm: barrierCycles(cfg, cfg.Nodes, core.ModeSharedMemory, arities[i], arities[i]),
+			mp: barrierCycles(cfg, cfg.Nodes, core.ModeHybrid, arities[i], arities[i]),
 		}
 	})
 	fmt.Fprintf(w, "%-8s %16s %16s\n", "arity", "SM cycles", "MP cycles")
@@ -90,8 +90,8 @@ func runBarrierScale(cfg Config, w io.Writer) {
 	type point struct{ sm, mp uint64 }
 	pts := parMap(cfg, len(sizes), func(i int) point {
 		return point{
-			sm: barrierCycles(sizes[i], core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity),
-			mp: barrierCycles(sizes[i], core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity),
+			sm: barrierCycles(cfg, sizes[i], core.ModeSharedMemory, core.DefaultMsgArity, core.DefaultSMArity),
+			mp: barrierCycles(cfg, sizes[i], core.ModeHybrid, core.DefaultMsgArity, core.DefaultSMArity),
 		}
 	})
 	fmt.Fprintf(w, "%-8s %16s %16s %8s\n", "procs", "SM cycles", "MP cycles", "ratio")

@@ -10,6 +10,7 @@ import (
 
 	"alewife/internal/core"
 	"alewife/internal/machine"
+	"alewife/internal/mesh"
 )
 
 // Config controls an experiment run.
@@ -18,6 +19,12 @@ type Config struct {
 	Quick    bool   // trimmed sweeps for test runs
 	CSVDir   string // when set, experiments also write <id>.csv files here
 	Parallel int    // worker goroutines for independent runs (0 or 1: serial)
+	// Loss > 0 runs every experiment over lossy wires: each packet is
+	// dropped, duplicated and reordered with this probability, and the
+	// reliable-delivery sublayer recovers. The numbers then answer "what
+	// do the paper's figures look like on an unreliable interconnect".
+	Loss    float64
+	NetSeed uint64 // fault-schedule seed for Loss (0 picks 1)
 }
 
 // DefaultConfig matches the paper's machine size.
@@ -51,14 +58,29 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// machCfg is the standard machine configuration with the experiment
+// config's wire-fault regime applied; every experiment builds through it so
+// -loss reaches ablations and topology sweeps too.
+func machCfg(cfg Config, nodes int) machine.Config {
+	mc := machine.DefaultConfig(nodes)
+	if cfg.Loss > 0 {
+		seed := cfg.NetSeed
+		if seed == 0 {
+			seed = 1
+		}
+		mc.Net.Fault = &mesh.NetFault{Seed: seed, Drop: cfg.Loss, Dup: cfg.Loss, Reorder: cfg.Loss}
+	}
+	return mc
+}
+
 // newMachine builds the standard Alewife-like machine.
-func newMachine(nodes int) *machine.Machine {
-	return machine.New(machine.DefaultConfig(nodes))
+func newMachine(cfg Config, nodes int) *machine.Machine {
+	return machine.New(machCfg(cfg, nodes))
 }
 
 // newRT builds a runtime in the given mode on a fresh machine.
-func newRT(nodes int, mode core.Mode) *core.RT {
-	return core.NewDefault(newMachine(nodes), mode)
+func newRT(cfg Config, nodes int, mode core.Mode) *core.RT {
+	return core.NewDefault(newMachine(cfg, nodes), mode)
 }
 
 // micros converts cycles to microseconds at the Alewife clock.

@@ -25,11 +25,11 @@ func runBFS(cfg Config, w io.Writer) {
 	fmt.Fprintf(w, "level-synchronized BFS on %d processors, out-degree %d\n", cfg.Nodes, deg)
 	fmt.Fprintf(w, "%-10s %8s %14s %14s %8s\n", "vertices", "levels", "SM cycles", "hybrid cycles", "SM/hyb")
 	for _, v := range sizes {
-		smRT := newRT(cfg.Nodes, core.ModeSharedMemory)
+		smRT := newRT(cfg, cfg.Nodes, core.ModeSharedMemory)
 		smG := apps.NewBFSGraph(smRT.M, v, deg)
 		wantV, wantL := smG.BFSReference(0)
 		sm := apps.BFS(smRT, smG, 0)
-		hyRT := newRT(cfg.Nodes, core.ModeHybrid)
+		hyRT := newRT(cfg, cfg.Nodes, core.ModeHybrid)
 		hyG := apps.NewBFSGraph(hyRT.M, v, deg)
 		hy := apps.BFS(hyRT, hyG, 0)
 		if sm.Visited != wantV || sm.LevelSum != wantL ||

@@ -44,7 +44,7 @@ func runFig7(cfg Config, w io.Writer) {
 	rows := parMap(cfg, len(sizes), func(si int) [3]apps.MemcpyResult {
 		var res [3]apps.MemcpyResult
 		for i, kind := range []apps.CopyKind{apps.CopyNoPrefetch, apps.CopyPrefetch, apps.CopyMessage} {
-			rt := newRT(cfg.Nodes, core.ModeHybrid)
+			rt := newRT(cfg, cfg.Nodes, core.ModeHybrid)
 			res[i] = apps.Memcpy(rt, 1, sizes[si], kind) // neighbour node
 		}
 		return res
@@ -76,12 +76,12 @@ func runFig8(cfg Config, w io.Writer) {
 	rows := parMap(cfg, len(sizes), func(si int) row {
 		bytes := sizes[si]
 		words := uint64(bytes / 8)
-		sm := apps.AccumSM(newMachine(cfg.Nodes), 1, words)
-		rt := newRT(cfg.Nodes, core.ModeHybrid)
+		sm := apps.AccumSM(newMachine(cfg, cfg.Nodes), 1, words)
+		rt := newRT(cfg, cfg.Nodes, core.ModeHybrid)
 		mp := apps.AccumMP(rt, 1, words)
 		// The paper also discusses MP time minus the bare transfer time
 		// (Figure 7's message curve), which rides just below SM.
-		rt2 := newRT(cfg.Nodes, core.ModeHybrid)
+		rt2 := newRT(cfg, cfg.Nodes, core.ModeHybrid)
 		xfer := apps.Memcpy(rt2, 1, bytes, apps.CopyMessage)
 		return row{sm: sm.Cycles, mp: mp.Cycles, xfer: xfer.Cycles}
 	})

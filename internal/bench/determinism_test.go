@@ -20,8 +20,8 @@ import (
 
 func TestBarrierDeterministic(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		a := barrierCycles(16, mode, core.DefaultMsgArity, core.DefaultSMArity)
-		b := barrierCycles(16, mode, core.DefaultMsgArity, core.DefaultSMArity)
+		a := barrierCycles(Config{}, 16, mode, core.DefaultMsgArity, core.DefaultSMArity)
+		b := barrierCycles(Config{}, 16, mode, core.DefaultMsgArity, core.DefaultSMArity)
 		if a != b {
 			t.Errorf("%v: barrier cycles differ across identical runs: %d vs %d", mode, a, b)
 		}
@@ -30,8 +30,8 @@ func TestBarrierDeterministic(t *testing.T) {
 
 func TestInvokeDeterministic(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
-		ar, ae := invokeTimes(16, mode)
-		br, be := invokeTimes(16, mode)
+		ar, ae := invokeTimes(Config{}, 16, mode)
+		br, be := invokeTimes(Config{}, 16, mode)
 		if ar != br || ae != be {
 			t.Errorf("%v: invoke times differ across identical runs: (%d,%d) vs (%d,%d)",
 				mode, ar, ae, br, be)
@@ -42,7 +42,7 @@ func TestInvokeDeterministic(t *testing.T) {
 // barrierStats runs the E1 measurement loop on a fresh machine and returns
 // its final cycle count plus full per-node and global counter snapshots.
 func barrierStats(mode core.Mode) (uint64, []map[string]int64) {
-	rt := newRT(16, mode)
+	rt := newRT(Config{}, 16, mode)
 	rt.SPMD(func(p *machine.Proc) {
 		for i := 0; i < 4; i++ {
 			rt.Barrier().Sync(p)

@@ -25,7 +25,7 @@ func init() {
 // no communication is necessary."
 func runFig1(cfg Config, w io.Writer) {
 	measureHW := func(remote bool, second bool) uint64 {
-		m := newMachine(cfg.Nodes)
+		m := newMachine(cfg, cfg.Nodes)
 		home := 0
 		if remote {
 			home = 1
@@ -46,7 +46,7 @@ func runFig1(cfg Config, w io.Writer) {
 		return cycles
 	}
 	measureSW := func(remote bool, second bool, noCache bool) uint64 {
-		m := newMachine(cfg.Nodes)
+		m := newMachine(cfg, cfg.Nodes)
 		pp := swdsm.DefaultParams()
 		pp.NoCache = noCache
 		d := swdsm.New(m, pp)
@@ -91,8 +91,8 @@ func runFig1(cfg Config, w io.Writer) {
 	// A small dynamic workload: pointer-chase style random reads over a
 	// shared table — the "dynamic application" of Section 2.1 where the
 	// compiler can't help and every reference pays the software check.
-	hwApp := chaseHW(cfg.Nodes)
-	swApp := chaseSW(cfg.Nodes)
+	hwApp := chaseHW(cfg, cfg.Nodes)
+	swApp := chaseSW(cfg, cfg.Nodes)
 	fmt.Fprintf(w, "\nrandom shared-table walk (1024 dependent reads):\n")
 	fmt.Fprintf(w, "hardware %d cycles, software %d cycles, ratio %.1f\n",
 		hwApp, swApp, float64(swApp)/float64(hwApp))
@@ -114,8 +114,8 @@ func chaseTable(m *machine.Machine, nodes int) []mem.Addr {
 	return addrs
 }
 
-func chaseHW(nodes int) uint64 {
-	m := newMachine(nodes)
+func chaseHW(cfg Config, nodes int) uint64 {
+	m := newMachine(cfg, nodes)
 	addrs := chaseTable(m, nodes)
 	var cycles uint64
 	m.Spawn(0, 0, "chase", func(p *machine.Proc) {
@@ -133,8 +133,8 @@ func chaseHW(nodes int) uint64 {
 	return cycles
 }
 
-func chaseSW(nodes int) uint64 {
-	m := newMachine(nodes)
+func chaseSW(cfg Config, nodes int) uint64 {
+	m := newMachine(cfg, nodes)
 	d := swdsm.New(m, swdsm.DefaultParams())
 	addrs := chaseTable(m, nodes)
 	var cycles uint64

@@ -18,9 +18,9 @@ func init() {
 // invokeTimes measures Tinvoker (start of the operation until the invoking
 // processor is free) and Tinvokee (start until the invoked thread begins
 // running), inside the full scheduler, as the paper does.
-func invokeTimes(nodes int, mode core.Mode) (tInvoker, tInvokee uint64) {
+func invokeTimes(cfg Config, nodes int, mode core.Mode) (tInvoker, tInvokee uint64) {
 	const reps = 5
-	rt := newRT(nodes, mode)
+	rt := newRT(cfg, nodes, mode)
 	var invoker, invokee [reps]uint64
 	rt.Run(func(tc *core.TC) uint64 {
 		dst := nodes / 2 // a mid-distance node
@@ -59,8 +59,8 @@ func invokeTimes(nodes int, mode core.Mode) (tInvoker, tInvokee uint64) {
 }
 
 func runInvoke(cfg Config, w io.Writer) {
-	smKer, smKee := invokeTimes(cfg.Nodes, core.ModeSharedMemory)
-	mpKer, mpKee := invokeTimes(cfg.Nodes, core.ModeHybrid)
+	smKer, smKee := invokeTimes(cfg, cfg.Nodes, core.ModeSharedMemory)
+	mpKer, mpKee := invokeTimes(cfg, cfg.Nodes, core.ModeHybrid)
 	t := NewTable("invoke", "implementation", "Tinvoker", "Tinvokee", "paper_invoker", "paper_invokee")
 	t.Add("shared-memory", smKer, smKee, 353, 805)
 	t.Add("message-based", mpKer, mpKee, 17, 244)

@@ -27,8 +27,8 @@ func runFig11(cfg Config, w io.Writer) {
 	t := NewTable("fig11", "grid", "sm_cycles_per_iter", "mp_cycles_per_iter", "mp_over_sm")
 	for _, g := range grids {
 		want := apps.JacobiReference(g, iters)
-		sm := apps.Jacobi(newRT(cfg.Nodes, core.ModeSharedMemory), g, iters)
-		mp := apps.Jacobi(newRT(cfg.Nodes, core.ModeHybrid), g, iters)
+		sm := apps.Jacobi(newRT(cfg, cfg.Nodes, core.ModeSharedMemory), g, iters)
+		mp := apps.Jacobi(newRT(cfg, cfg.Nodes, core.ModeHybrid), g, iters)
 		if math.Abs(sm.Checksum-want) > 1e-6 || math.Abs(mp.Checksum-want) > 1e-6 {
 			panic("bench: jacobi checksum mismatch")
 		}

@@ -40,7 +40,7 @@ func runAblateMultithread(cfg Config, w io.Writer) {
 
 // multiRemoteSum runs the traversal on k contexts of node 0 against node 1.
 func multiRemoteSum(cfg Config, k int, words uint64) (cycles uint64, switches int) {
-	m := newMachine(cfg.Nodes)
+	m := newMachine(cfg, cfg.Nodes)
 	arr := m.Store.AllocOn(1, words)
 	for i := uint64(0); i < words; i++ {
 		m.Store.Write(arr+mem.Addr(i), 1)

@@ -35,8 +35,8 @@ func runProdCons(cfg Config, w io.Writer) {
 	}
 	fmt.Fprintf(w, "%-8s %14s %14s %10s\n", "words", "SM cycles", "MP cycles", "SM/MP")
 	for _, words := range sizes {
-		sm := apps.ProdConsSM(newMachine(cfg.Nodes), words)
-		mp := apps.ProdConsMP(newRT(cfg.Nodes, core.ModeHybrid), words)
+		sm := apps.ProdConsSM(newMachine(cfg, cfg.Nodes), words)
+		mp := apps.ProdConsMP(newRT(cfg, cfg.Nodes, core.ModeHybrid), words)
 		if sm.Sum != mp.Sum || sm.Sum != words*(words+1)/2 {
 			panic("bench: prodcons checksum mismatch")
 		}
@@ -58,8 +58,8 @@ func runTranspose(cfg Config, w io.Writer) {
 	fmt.Fprintf(w, "all-to-all on %d nodes (block words per pair)\n", nodes)
 	fmt.Fprintf(w, "%-8s %14s %14s %10s\n", "words", "SM cycles", "MP cycles", "SM/MP")
 	for _, words := range sizes {
-		sm := apps.Transpose(newRT(nodes, core.ModeSharedMemory), words)
-		mp := apps.Transpose(newRT(nodes, core.ModeHybrid), words)
+		sm := apps.Transpose(newRT(cfg, nodes, core.ModeSharedMemory), words)
+		mp := apps.Transpose(newRT(cfg, nodes, core.ModeHybrid), words)
 		fmt.Fprintf(w, "%-8d %14d %14d %10.2f\n",
 			words, sm.Cycles, mp.Cycles, float64(sm.Cycles)/float64(mp.Cycles))
 	}

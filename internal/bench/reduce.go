@@ -20,7 +20,7 @@ func init() {
 func runReduce(cfg Config, w io.Writer) {
 	// Microbenchmark: one global sum+barrier episode.
 	episode := func(mode core.Mode) uint64 {
-		rt := newRT(cfg.Nodes, mode)
+		rt := newRT(cfg, cfg.Nodes, mode)
 		const warm, meas = 2, 6
 		var start, end uint64
 		rt.SPMD(func(p *machine.Proc) {
@@ -50,8 +50,8 @@ func runReduce(cfg Config, w io.Writer) {
 
 	// Application: jacobi iterating to convergence, reduction per iteration.
 	grid := 16
-	smj := apps.JacobiConverge(newRT(cfg.Nodes, core.ModeSharedMemory), grid, 0.01, 500)
-	hyj := apps.JacobiConverge(newRT(cfg.Nodes, core.ModeHybrid), grid, 0.01, 500)
+	smj := apps.JacobiConverge(newRT(cfg, cfg.Nodes, core.ModeSharedMemory), grid, 0.01, 500)
+	hyj := apps.JacobiConverge(newRT(cfg, cfg.Nodes, core.ModeHybrid), grid, 0.01, 500)
 	fmt.Fprintf(w, "jacobi-until-converged %dx%d (%d iters): SM=%d cycles, MP=%d cycles (ratio %.2f)\n",
 		grid, grid, smj.Iters, smj.Cycles, hyj.Cycles, float64(smj.Cycles)/float64(hyj.Cycles))
 	fmt.Fprintln(w, "the reduction's data rides the barrier messages: sync + data in one wave")

@@ -50,9 +50,9 @@ func runFig9(cfg Config, w io.Writer) {
 	rows := parMap(cfg, len(delays), func(i int) row {
 		l := delays[i]
 		r := row{
-			seq: apps.GrainSequential(newMachine(1), depth, l),
-			sm:  apps.GrainParallel(newRT(cfg.Nodes, core.ModeSharedMemory), depth, l),
-			hy:  apps.GrainParallel(newRT(cfg.Nodes, core.ModeHybrid), depth, l),
+			seq: apps.GrainSequential(newMachine(cfg, 1), depth, l),
+			sm:  apps.GrainParallel(newRT(cfg, cfg.Nodes, core.ModeSharedMemory), depth, l),
+			hy:  apps.GrainParallel(newRT(cfg, cfg.Nodes, core.ModeHybrid), depth, l),
 		}
 		if r.sm.Sum != r.seq.Sum || r.hy.Sum != r.seq.Sum {
 			panic("bench: grain results diverge")
@@ -92,9 +92,9 @@ func runFig10(cfg Config, w io.Writer) {
 	rows := parMap(cfg, len(tols), func(i int) row {
 		tol := tols[i]
 		r := row{
-			seq: apps.AQSequential(newMachine(1), tol),
-			sm:  apps.AQParallel(newRT(cfg.Nodes, core.ModeSharedMemory), tol),
-			hy:  apps.AQParallel(newRT(cfg.Nodes, core.ModeHybrid), tol),
+			seq: apps.AQSequential(newMachine(cfg, 1), tol),
+			sm:  apps.AQParallel(newRT(cfg, cfg.Nodes, core.ModeSharedMemory), tol),
+			hy:  apps.AQParallel(newRT(cfg, cfg.Nodes, core.ModeHybrid), tol),
 		}
 		if diff := r.sm.Integral - r.seq.Integral; diff > 1e-9 || diff < -1e-9 {
 			panic("bench: aq results diverge")

@@ -29,7 +29,7 @@ func runAblateStealBatch(cfg Config, w io.Writer) {
 		for i, mode := range []core.Mode{core.ModeSharedMemory, core.ModeHybrid} {
 			p := core.DefaultParams()
 			p.StealBatch = batch
-			rt := core.New(newMachine(cfg.Nodes), mode, p, core.StealRandom)
+			rt := core.New(newMachine(cfg, cfg.Nodes), mode, p, core.StealRandom)
 			cyc[i] = apps.GrainParallel(rt, depth, 0).Cycles
 		}
 		t.Add(batch, cyc[0], cyc[1])

@@ -33,7 +33,7 @@ func runAblateTopology(cfg Config, w io.Writer) {
 		"topology", "SM barrier", "MP barrier", "grain SM", "grain hybrid")
 	for _, tp := range topos {
 		mk := func(mode core.Mode) *core.RT {
-			mcfg := machine.DefaultConfig(cfg.Nodes)
+			mcfg := machCfg(cfg, cfg.Nodes)
 			mcfg.Topology = tp.t
 			return core.NewDefault(machine.New(mcfg), mode)
 		}

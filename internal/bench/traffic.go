@@ -46,9 +46,9 @@ func runTraffic(cfg Config, w io.Writer) {
 		{"tasks stolen", stats.ThreadsStolen},
 	}
 	for _, wl := range workloads {
-		smRT := newRT(cfg.Nodes, core.ModeSharedMemory)
+		smRT := newRT(cfg, cfg.Nodes, core.ModeSharedMemory)
 		wl.run(smRT)
-		hyRT := newRT(cfg.Nodes, core.ModeHybrid)
+		hyRT := newRT(cfg, cfg.Nodes, core.ModeHybrid)
 		wl.run(hyRT)
 		fmt.Fprintf(w, "%s on %d processors\n", wl.name, cfg.Nodes)
 		fmt.Fprintf(w, "  %-22s %14s %14s\n", "counter", "shared-memory", "hybrid")

@@ -46,6 +46,13 @@ type Config struct {
 	Mem           mem.Params
 	Net           mesh.Params
 	CMMU          cmmu.Params
+	// Reliable overrides the reliability sublayer's policy. The sublayer
+	// itself is interposed automatically whenever cfg.Net.Fault is set (a
+	// lossy mesh without recovery would corrupt the coherence protocol);
+	// setting Reliable with a fault-free mesh forces it on anyway, which is
+	// how its overhead is measured in isolation. Nil means: absent unless
+	// faults demand it, defaults when they do.
+	Reliable *cmmu.RelParams
 }
 
 // DefaultConfig returns the calibrated Alewife-like machine with n nodes.
@@ -70,6 +77,7 @@ type Machine struct {
 	Store *mem.Store
 	Fab   *mem.Fabric
 	St    *stats.Machine
+	Rel   *cmmu.Reliable // nil unless the reliability sublayer is interposed
 	Nodes []*Node
 	Trace *trace.Buffer      // nil unless EnableTrace was called
 	Prof  *metrics.Profiler  // nil unless EnableMetrics was called
@@ -80,6 +88,9 @@ type Machine struct {
 func (m *Machine) EnableTrace(cap int) *trace.Buffer {
 	m.Trace = trace.New(cap)
 	m.Fab.Trace = m.Trace
+	if m.Rel != nil {
+		m.Rel.Trace = m.Trace
+	}
 	for _, n := range m.Nodes {
 		n.CMMU.Trace = m.Trace
 	}
@@ -95,7 +106,12 @@ func (m *Machine) EnableTrace(cap int) *trace.Buffer {
 func (m *Machine) EnableMetrics() *metrics.Profiler {
 	m.Prof = metrics.New(m.Cfg.Nodes)
 	m.Fab.Prof = m.Prof
-	switch net := m.Net.(type) {
+	inner := m.Net
+	if m.Rel != nil {
+		m.Rel.Prof = m.Prof
+		inner = m.Rel.Inner()
+	}
+	switch net := inner.(type) {
 	case *mesh.Mesh:
 		net.Prof = m.Prof
 	case *mesh.Ideal:
@@ -173,6 +189,20 @@ func New(cfg Config) *Machine {
 			BytesPerCycle: cfg.Net.FlitBytes}
 	default:
 		m.Net = mesh.New(m.Eng, w, h, cfg.Net, m.St)
+	}
+	if cfg.Net.Fault != nil || cfg.Reliable != nil {
+		// Interpose the reliability sublayer: every consumer above — the
+		// coherence fabric as much as the message unit — sends through
+		// m.Net, so wrapping it here restores exactly-once FIFO delivery
+		// for the whole machine. With faults off and no explicit Reliable,
+		// the layer is absent and the data path is byte-identical to a
+		// machine built before it existed.
+		rp := cmmu.DefaultRelParams()
+		if cfg.Reliable != nil {
+			rp = *cfg.Reliable
+		}
+		m.Rel = cmmu.NewReliable(m.Eng, m.Net, rp, m.St)
+		m.Net = m.Rel
 	}
 	m.Store = mem.NewStore(cfg.Nodes, cfg.WordsPerNode)
 	m.Fab = mem.NewFabric(m.Eng, m.Net, m.Store, cfg.Mem, m.St, dirSteal{m},

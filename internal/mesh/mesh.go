@@ -40,6 +40,13 @@ type Params struct {
 	// be unaffected — tests rely on that.
 	MaxJitter  uint64
 	JitterSeed uint64
+
+	// Fault, when non-nil, makes the mesh lossy: seeded per-packet drop,
+	// duplication and reordering (see NetFault). Unlike jitter, faults DO
+	// break per-pair FIFO and exactly-once delivery — consumers must run
+	// the reliability sublayer (cmmu.Reliable) on top, as machine.New does
+	// automatically. Nil injects nothing and costs one nil check.
+	Fault *NetFault
 }
 
 // DefaultParams returns the calibrated Alewife-like cost model.
@@ -97,6 +104,7 @@ type Mesh struct {
 	// accrete map entries per communicating pair; now the footprint is fixed
 	// by the machine configuration).
 	pkts       uint64
+	faultPkts  uint64 // NetFault decision counter, independent of jitter
 	lastInject []sim.Time
 	// lastDeliver enforces point-to-point FIFO delivery for every pair;
 	// the routed path is naturally FIFO (monotone link reservations), but
@@ -204,13 +212,35 @@ func (m *Mesh) flits(bytes int) uint64 {
 
 // Send implements Network. Routing is X-first then Y, matching Alewife.
 func (m *Mesh) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
-	m.eng.At(m.route(src, dst, bytes, at), deliver)
+	t := m.route(src, dst, bytes, at)
+	if m.p.Fault != nil {
+		deliverAt, dupAt, drop := m.fault(src, t)
+		if drop {
+			return
+		}
+		if dupAt > 0 {
+			m.eng.At(dupAt, deliver)
+		}
+		t = deliverAt
+	}
+	m.eng.At(t, deliver)
 }
 
 // SendMsg implements Network: identical timing/ordering to Send, pooled
 // closure-free delivery.
 func (m *Mesh) SendMsg(src, dst int, bytes int, at sim.Time, s sim.Sink, op uint32, p0, p1 uint64) {
-	m.eng.AtSink(m.route(src, dst, bytes, at), s, op, p0, p1)
+	t := m.route(src, dst, bytes, at)
+	if m.p.Fault != nil {
+		deliverAt, dupAt, drop := m.fault(src, t)
+		if drop {
+			return
+		}
+		if dupAt > 0 {
+			m.eng.AtSink(dupAt, s, op, p0, p1)
+		}
+		t = deliverAt
+	}
+	m.eng.AtSink(t, s, op, p0, p1)
 }
 
 // route walks the packet across the mesh, reserving links, and returns the

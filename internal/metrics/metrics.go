@@ -48,6 +48,8 @@ const (
 	NetTransit  // overlay: unloaded wire time of injected packets
 	NetQueue    // overlay: packet delay beyond unloaded time (contention, FIFO, jitter)
 	MsgQueue    // overlay: packets waiting for a busy receive port
+	RelStall    // overlay: retransmit-timer stalls (timer arm to a firing that resent)
+	RelQueue    // overlay: out-of-order packets parked in the reliability reorder window
 
 	NumBuckets
 
@@ -60,6 +62,7 @@ var bucketNames = [NumBuckets]string{
 	"compute", "cache-hit", "miss-stall", "dir-trap", "handler",
 	"sync-wait", "idle", "untracked",
 	"dir-pipeline", "net-transit", "net-queue", "msg-queue",
+	"rel-timeout-stall", "rel-reorder-queue",
 }
 
 func (b Bucket) String() string {

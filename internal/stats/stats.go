@@ -44,6 +44,14 @@ const (
 	LockSpins        = "rts.lock_spins"
 	CheckViolations  = "check.violations"
 	StressOps        = "stress.ops"
+	NetFaultDrops    = "net.fault_drops"
+	NetFaultDups     = "net.fault_dups"
+	NetFaultReorders = "net.fault_reorders"
+	RelRetransmits   = "rel.retransmits"
+	RelTimeouts      = "rel.timeouts"
+	RelDupDrops      = "rel.dup_drops"
+	RelWindowDrops   = "rel.window_drops"
+	RelAcks          = "rel.acks"
 )
 
 // Set is a group of counters for one scope (a node, or the machine).

@@ -30,6 +30,11 @@ type Result struct {
 	FirstAt    sim.Time // cycle of the first violation (0 when clean)
 	TraceTail  string   // last trace events before the first violation
 
+	// Lossy and NetSchedSeed record the effective wire-fault regime so the
+	// repro line replays the identical fault schedule.
+	Lossy        bool
+	NetSchedSeed uint64
+
 	// Populated only when Config.Capture is set.
 	History     []HistOp      // every tracked access, in execution order
 	TraceDigest uint64        // trace ring fingerprint (trace.Buffer.Digest)
@@ -51,7 +56,11 @@ func (r *Result) Report() string {
 	}
 	fmt.Fprintf(&b, "seed %#x: FAILED at cycle %d (%d nodes, %d ops executed)\n",
 		r.Seed, r.FirstAt, r.Nodes, r.TotalOps)
-	fmt.Fprintf(&b, "reproduce: alewife-stress -seed %#x\n", r.Seed)
+	if r.Lossy {
+		fmt.Fprintf(&b, "reproduce: alewife-stress -loss -netseed %#x -seed %#x\n", r.NetSchedSeed, r.Seed)
+	} else {
+		fmt.Fprintf(&b, "reproduce: alewife-stress -seed %#x\n", r.Seed)
+	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "  violation: %s\n", v)
 	}
@@ -94,6 +103,19 @@ func Execute(cfg Config, prog [][]Op) Result {
 	mcfg.CacheSets = 4 // direct-mapped 4-line cache: constant evictions
 	mcfg.CacheWays = 1
 	mcfg.Mem.HWPointers = 2 // LimitLESS overflow with three sharers
+	if cfg.NetFault != nil {
+		ft := *cfg.NetFault // the config's schedule must survive re-Execute
+		if ft.Seed == 0 {
+			ft.Seed = splitmix64(cfg.Seed ^ 0xfa017b17)
+		}
+		mcfg.Net.Fault = &ft
+		res.Lossy, res.NetSchedSeed = true, ft.Seed
+	}
+	if cfg.RelFault != nil && mcfg.Net.Fault == nil {
+		// Mutations need the sublayer present even over perfect wires.
+		rp := cmmu.DefaultRelParams()
+		mcfg.Reliable = &rp
+	}
 	m := machine.New(mcfg)
 	m.EnableTrace(cfg.TraceCap)
 	m.Fab.Fault = cfg.MemFault
@@ -125,6 +147,14 @@ func Execute(cfg Config, prog [][]Op) Result {
 	}
 	for _, n := range m.Nodes {
 		n.CMMU.Check = ck
+	}
+	if m.Rel != nil {
+		m.Rel.Fault = cfg.RelFault
+		m.Rel.OnViolation = func(v cmmu.Violation) {
+			fail(v.At, v.String())
+			halted = true
+			m.Eng.Halt()
+		}
 	}
 
 	// Address plan: hot lines round-robin across homes, counters likewise,
@@ -255,6 +285,11 @@ func Execute(cfg Config, prog [][]Op) Result {
 			// Clean completion: quiescence sweep, history, counters.
 			if err := lc.Quiesce(); err != nil {
 				fail(m.Eng.Now(), fmt.Sprintf("quiescence: %v", err))
+			}
+			if m.Rel != nil {
+				if err := m.Rel.Quiesce(); err != nil {
+					fail(m.Eng.Now(), fmt.Sprintf("quiescence: %v", err))
+				}
 			}
 			for _, v := range CheckHistory(hist) {
 				fail(m.Eng.Now(), v)

@@ -23,6 +23,7 @@ import (
 
 	"alewife/internal/cmmu"
 	"alewife/internal/mem"
+	"alewife/internal/mesh"
 )
 
 // OpKind classifies one generated operation.
@@ -78,6 +79,16 @@ type Config struct {
 	MemFault  *mem.Fault
 	CMMUFault *cmmu.Fault
 
+	// NetFault makes the interconnect lossy (machine.New interposes the
+	// reliability sublayer automatically, so the protocol oracles still
+	// demand exactly-once semantics). A zero NetFault.Seed is defaulted
+	// from the run seed, so the fault schedule travels with the repro line
+	// and survives shrinking unchanged.
+	NetFault *mesh.NetFault
+	// RelFault injects reliability-sublayer bugs (mutation testing). It
+	// forces the sublayer on even over a perfect mesh.
+	RelFault *cmmu.RelFault
+
 	// Capture, when set, retains the full observed history plus trace and
 	// stats fingerprints in the Result. The determinism goldens use it to
 	// assert that hot-path rewrites reproduce the reference implementation
@@ -127,6 +138,23 @@ func (cfg *Config) counters() int {
 		n = 4
 	}
 	return n
+}
+
+// LossFromSeed derives a lossy-network regime from a run seed: drop, dup
+// and reorder rates each land in roughly the 0.1%-2% band the recovery
+// machinery is sized for, decorrelated from the op-stream randomness so
+// `-loss -seed 0x…` sweeps fault schedules and programs together. Like
+// Generate, it is a pure function of the seed.
+func LossFromSeed(seed uint64) *mesh.NetFault {
+	rate := func(salt uint64) float64 {
+		return 0.001 + float64(splitmix64(seed^salt)%19001)/1e6 // [0.1%, 2%]
+	}
+	return &mesh.NetFault{
+		Seed:    splitmix64(seed ^ 0xfa017),
+		Drop:    rate(0xd809),
+		Dup:     rate(0xd00b),
+		Reorder: rate(0x4e04),
+	}
 }
 
 // splitmix64 decorrelates per-node generator streams from one seed.

@@ -29,13 +29,15 @@ const (
 	KSuspend               // thread suspended; Arg = thread id
 	KBarrier               // barrier episode completed; Arg = epoch
 	KCheckFail             // invariant checker fired; Arg = line address or 0
+	KRetransmit            // reliable sublayer resent a packet; Arg = sequence number
+	KDupDrop               // reliable sublayer discarded a duplicate; Arg = sequence number
 	kMax
 )
 
 var kindNames = [...]string{
 	"miss", "fill", "inval", "recall", "writeback",
 	"msg-send", "msg-recv", "steal", "dispatch", "suspend", "barrier",
-	"check-fail",
+	"check-fail", "retransmit", "dup-drop",
 }
 
 func (k Kind) String() string {
