@@ -11,7 +11,10 @@
 #   make perf-check  rerun the suite and fail if any workload regresses
 #                  against the committed BENCH_sim.json (+15% ns/op or
 #                  +0.5 allocs/op, best of 3 on wall-clock noise; cycle-
-#                  attribution shares within 2% absolute per bucket)
+#                  attribution shares within 2% absolute per bucket);
+#                  prints a per-workload delta table and names offenders
+#   make perf-quick  trimmed workload suite to stdout, nothing written —
+#                  fast local iteration while tuning a hot path
 #   make cover     statement coverage with a per-package floor of
 #                  $(COVER_FLOOR)% across internal/...
 #
@@ -23,7 +26,7 @@ GO ?= go
 
 COVER_FLOOR ?= 60
 
-.PHONY: check build vet test cover stress-smoke stress-smoke-lossy stress bench perf perf-check
+.PHONY: check build vet test cover stress-smoke stress-smoke-lossy stress bench perf perf-check perf-quick
 
 check: build vet test cover stress-smoke stress-smoke-lossy perf-check
 
@@ -64,3 +67,6 @@ perf:
 
 perf-check:
 	$(GO) run ./cmd/alewife-perf -check BENCH_sim.json
+
+perf-quick:
+	$(GO) run ./cmd/alewife-perf -quick -out -

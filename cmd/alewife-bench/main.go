@@ -46,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	fanout.WarnIfSerial(stderr, *parallel)
+
 	cfg := bench.Config{Nodes: *nodes, Quick: *quick, CSVDir: *csvDir,
 		Parallel: fanout.Workers(*parallel), Loss: *loss, NetSeed: *netseed}
 	switch {

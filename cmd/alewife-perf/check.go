@@ -6,12 +6,15 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 )
 
 // runCheck is the `make perf-check` regression gate: rerun the workload suite
 // at the sizing the baseline snapshot was taken with and fail on material
 // regressions — ns/op above baseline*(1+tol) or allocs/op above baseline+allocTol.
 // Improvements never fail; commit a refreshed snapshot to ratchet them in.
+// Output is a per-workload delta table (baseline ns/op, fresh ns/op, % change)
+// and a failure names the offending workloads instead of a bare count.
 //
 // Wall-clock on a shared CI box is noisy, so a workload that looks regressed
 // is retried (best of 3) before the gate fails. Alloc counts are
@@ -41,11 +44,13 @@ func runCheck(path string, tol, allocTol, attribTol float64, stdout, stderr io.W
 	}
 
 	const retries = 3
-	failed := 0
+	var offenders []string
+	fmt.Fprintf(stdout, "%-18s %-9s  %12s  %12s  %8s  %s\n",
+		"workload", "status", "baseline", "now", "delta", "allocs/op (base -> now, limit)")
 	for _, fresh := range runWorkloads(s) {
 		want, ok := baseline[fresh.Name]
 		if !ok {
-			fmt.Fprintf(stdout, "%-16s  new workload, no baseline — skipped\n", fresh.Name)
+			fmt.Fprintf(stdout, "%-18s %-9s  new workload, no baseline — skipped\n", fresh.Name, "new")
 			continue
 		}
 		best := fresh
@@ -64,18 +69,28 @@ func runCheck(path string, tol, allocTol, attribTol float64, stdout, stderr io.W
 		status := "ok"
 		if regressed(best, want, tol, allocTol) {
 			status = "REGRESSED"
-			failed++
+			offenders = append(offenders, best.Name)
 		}
-		fmt.Fprintf(stdout, "%-16s %-9s  %8.2f ns/op (baseline %8.2f, limit %8.2f)  %6.2f allocs/op (baseline %6.2f, limit %6.2f)\n",
+		delta := 0.0
+		if want.NSPerOp > 0 {
+			delta = (best.NSPerOp - want.NSPerOp) / want.NSPerOp * 100
+		}
+		fmt.Fprintf(stdout, "%-18s %-9s  %9.2f ns  %9.2f ns  %+7.1f%%  %6.2f -> %6.2f (limit %6.2f)\n",
 			best.Name, status,
-			best.NSPerOp, want.NSPerOp, want.NSPerOp*(1+tol),
-			best.AllocsPerOp, want.AllocsPerOp, want.AllocsPerOp+allocTol)
+			want.NSPerOp, best.NSPerOp, delta,
+			want.AllocsPerOp, best.AllocsPerOp, want.AllocsPerOp+allocTol)
 	}
 
+	failed := len(offenders)
 	failed += checkAttribution(base, s, attribTol, stdout)
 
 	if failed > 0 {
-		fmt.Fprintf(stderr, "perf-check: %d workload(s) regressed against %s\n", failed, path)
+		if len(offenders) > 0 {
+			fmt.Fprintf(stderr, "perf-check: %d workload(s) regressed against %s: %s\n",
+				failed, path, strings.Join(offenders, ", "))
+		} else {
+			fmt.Fprintf(stderr, "perf-check: %d workload(s) regressed against %s (attribution drift)\n", failed, path)
+		}
 		return 1
 	}
 	fmt.Fprintf(stdout, "perf-check: all workloads within tolerance of %s\n", path)

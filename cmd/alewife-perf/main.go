@@ -160,6 +160,8 @@ func jacobi(nodes, grid, iters int) int64 {
 // replays whichever sizing the baseline snapshot was taken with.
 type suiteSizes struct {
 	churnN, switchN int64
+	pingpongN       int64
+	soloN           int64
 	seedOps         int
 	dirAcc, meshPkt int64
 	dmaMsgs         int64
@@ -175,11 +177,13 @@ var sizesFor = sizes
 func sizes(quick bool) suiteSizes {
 	s := suiteSizes{
 		churnN: 2_000_000, switchN: 200_000, seedOps: 2000,
+		pingpongN: 200_000, soloN: 400_000,
 		dirAcc: 30_000, meshPkt: 1_000_000, dmaMsgs: 10_000,
 		lossPkt: 300_000, batchSeeds: 16, benchNodes: 16,
 	}
 	if quick {
 		s.churnN, s.switchN, s.seedOps = 500_000, 50_000, 500
+		s.pingpongN, s.soloN = 50_000, 100_000
 		s.dirAcc, s.meshPkt, s.dmaMsgs = 8_000, 250_000, 2_500
 		s.lossPkt, s.batchSeeds = 80_000, 8
 	}
@@ -215,6 +219,11 @@ func runnersFor(s suiteSizes) []runner {
 	return []runner{
 		{"event-churn", "events", func() int64 { return eventChurn(s.churnN) }},
 		{"context-switch", "switches", func() int64 { return contextSwitch(s.switchN) }},
+		// ctx-pingpong and ctx-solo-compute bracket context-switch: the
+		// former is all context-to-context handoffs, the latter all
+		// self-wakes, so a scheduler regression names the path it hit.
+		{"ctx-pingpong", "switches", func() int64 { return ctxPingPong(s.pingpongN) }},
+		{"ctx-solo-compute", "sleeps", func() int64 { return ctxSoloCompute(s.soloN) }},
 		{"stress-seed", "stress-ops", func() int64 { return stressSeed(s.seedOps) }},
 		{"jacobi-32x32x8", "sim-cycles", func() int64 { return jacobi(s.benchNodes, 32, 8) }},
 		{"dir-churn", "accesses", func() int64 { return dirChurn(s.dirAcc) }},
@@ -274,6 +283,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	s := sizesFor(*quick)
 	workers := fanout.Workers(*parallel)
+	fanout.WarnIfSerial(stderr, *parallel)
 
 	snap := Snapshot{
 		Generated:  time.Now().UTC().Format(time.RFC3339),

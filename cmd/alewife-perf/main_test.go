@@ -17,6 +17,7 @@ func tinySizes(t *testing.T) {
 	sizesFor = func(bool) suiteSizes {
 		return suiteSizes{
 			churnN: 2_000, switchN: 500, seedOps: 50,
+			pingpongN: 500, soloN: 1_000,
 			dirAcc: 200, meshPkt: 2_000, dmaMsgs: 100,
 			lossPkt: 2_000, batchSeeds: 2, benchNodes: 4,
 		}

@@ -14,6 +14,37 @@ import (
 // Patterns are pure functions of loop indices: no RNG, identical event
 // streams on every run.
 
+// ctxPingPong alternates two contexts whose sleeps interleave, so every
+// simulated cycle is a context-to-context transfer with no inline work in
+// between — the pure handoff cost of the scheduler. Returns total switches.
+func ctxPingPong(n int64) int64 {
+	e := sim.NewEngine()
+	half := n / 2
+	body := func(c *sim.Context) {
+		for i := int64(0); i < half; i++ {
+			c.Sleep(2)
+		}
+	}
+	e.Spawn("ping", 0, body)
+	e.Spawn("pong", 1, body)
+	e.Run()
+	return half * 2
+}
+
+// ctxSoloCompute drives one context through a bare Sleep loop with nothing
+// else queued — the shape of a compute delay loop (Proc.Elapse). With the
+// solo-wake fast path this must not touch a channel at all. Returns sleeps.
+func ctxSoloCompute(n int64) int64 {
+	e := sim.NewEngine()
+	e.Spawn("solo", 0, func(c *sim.Context) {
+		for i := int64(0); i < n; i++ {
+			c.Sleep(5)
+		}
+	})
+	e.Run()
+	return n
+}
+
 // dirChurn hammers the home directory machinery: 8 nodes take turns writing
 // and reading a small set of lines homed on node 0, on a tiny cache, so
 // every access is an invalidation round, a recall, an eviction or a

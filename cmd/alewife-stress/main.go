@@ -110,6 +110,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inject = f
 	}
 
+	fanout.WarnIfSerial(stderr, *parallel)
+
 	// Seeds share nothing — each builds its own machine and engine — so they
 	// fan out across workers; buffering keeps repro lines in seed order.
 	results := fanout.Run(*seeds, *parallel, func(i int) seedResult {

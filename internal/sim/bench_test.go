@@ -73,3 +73,21 @@ func BenchmarkScheduleFar(b *testing.B) {
 		e.Run()
 	}
 }
+
+// BenchmarkContextPingPong measures a context-to-context transfer: two
+// contexts whose sleeps interleave, so every wake hands the baton directly
+// from one context goroutine to the other (no hop through the Run
+// goroutine, one channel operation per switch).
+func BenchmarkContextPingPong(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	body := func(c *Context) {
+		for i := 0; i < b.N/2; i++ {
+			c.Sleep(2)
+		}
+	}
+	e.Spawn("ping", 0, body)
+	e.Spawn("pong", 1, body)
+	b.ResetTimer()
+	e.Run()
+}

@@ -6,9 +6,11 @@ import (
 )
 
 // Context is a simulated sequential agent (a processor, a thread). Its body
-// runs on its own goroutine but control is strictly handed back and forth
-// with the engine: the body runs only between a resume and the next call
-// into WaitUntil/Sleep/Block, during which no other context or event runs.
+// runs on its own goroutine but only one goroutine holds the baton at a
+// time: the body runs only between a resume and the next call into
+// WaitUntil/Sleep/Block, during which no other context or event runs. While
+// parked, a context may itself run the dispatch loop (advance) and hand the
+// baton to whichever activity is due next.
 type Context struct {
 	eng    *Engine
 	name   string
@@ -44,68 +46,109 @@ func (c *Context) Done() bool { return c.done }
 // Spawn creates a context whose body starts running at time `at`. The body
 // executes in simulation order; fn returning ends the context.
 func (e *Engine) Spawn(name string, at Time, fn func(*Context)) *Context {
-	c := &Context{eng: e, name: name, resume: make(chan struct{})}
+	c := &Context{eng: e, name: name, resume: make(chan struct{}, 1)}
 	e.nlive++
 	e.ctxs = append(e.ctxs, c)
 	go func() {
-		<-c.resume // wait for first transfer from the engine
+		c.park() // the start event below is an ordinary wake (gen 0)
 		defer func() {
-			// Re-raise a panic from the body on the engine goroutine so
-			// callers (and tests) can observe it instead of crashing the
-			// process from an anonymous goroutine.
+			// Record a panic from the body so the Run goroutine can
+			// re-raise it where callers (and tests) can observe it instead
+			// of crashing the process from an anonymous goroutine.
 			if r := recover(); r != nil {
 				e.ctxPanic = &panicValue{ctx: name, val: r, stack: string(debug.Stack())}
 			}
 			c.done = true
 			e.nlive--
-			e.yield <- struct{}{} // final hand-back
+			e.retire()
+			// The finishing goroutine still holds the baton: keep
+			// dispatching until it hands off, returning the baton to the
+			// Run goroutine on a stop condition — or immediately on a
+			// recorded panic, so the panic re-raises there and no further
+			// event runs after it (a dispatched event that panics out of
+			// advance here is recorded the same way).
+			e.exitDispatch(name)
 		}()
 		fn(c)
 	}()
-	e.At(at, func() { c.transfer() })
+	e.atWake(at, c, 0)
 	return c
 }
 
-// transfer hands control from the engine (or the currently-running event)
-// to the context and waits until the context yields back.
-func (c *Context) transfer() {
-	if c.done {
-		panic("sim: transfer to finished context " + c.name)
-	}
-	c.blocked = false
-	c.resume <- struct{}{}
-	<-c.eng.yield
-	if p := c.eng.ctxPanic; p != nil {
-		c.eng.ctxPanic = nil
-		panic(fmt.Sprintf("sim: context %s panicked: %v\n--- context stack ---\n%s", p.ctx, p.val, p.stack))
+// exitDispatch runs the dispatch loop from a finishing context's goroutine
+// and returns the baton to Run when the loop stops or an event panics.
+func (e *Engine) exitDispatch(name string) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.ctxPanic = &panicValue{ctx: name, val: r, stack: string(debug.Stack())}
+			e.baton <- struct{}{}
+		}
+	}()
+	if e.ctxPanic != nil || e.advance(nil) == batonStop {
+		e.baton <- struct{}{}
 	}
 }
 
-// yieldToEngine parks the calling context and returns control to the engine
-// loop. The context resumes when some event calls transfer on it.
-func (c *Context) yieldToEngine() {
-	c.eng.yield <- struct{}{}
+// park waits for this context's wake handoff and opens a new resume
+// generation, invalidating any wake still queued for the old one.
+func (c *Context) park() {
 	<-c.resume
 	c.gen++
+}
+
+// parkAndDispatch yields the baton: the parking context runs the dispatch
+// loop itself, and either its own wake comes up (continue inline, no channel
+// operation), the baton moves to another context (park until resumed), or
+// the run stops (return the baton to Run, then park).
+func (c *Context) parkAndDispatch() {
+	switch c.eng.advance(c) {
+	case batonSelf:
+		return
+	case batonStop:
+		c.eng.baton <- struct{}{}
+	}
+	c.park()
 }
 
 // wakeAt arms a wake event at absolute time t for the current park
 // generation; the event is dropped if the context was resumed through
 // another path in the meantime (the staleness check lives in
-// Engine.dispatch, which fires wake records without a closure).
+// Engine.advance, which fires wake records without a closure).
 func (c *Context) wakeAt(t Time) {
 	c.eng.atWake(t, c, c.gen)
 }
 
 // WaitUntil advances the context to absolute time t, letting all events and
 // other contexts scheduled before t run. Waiting for the past is a no-op
-// time-wise but still yields so that same-time events interleave fairly.
+// time-wise but still interleaves fairly with same-time events: the wake
+// record takes its place in (at, seq) order like any other.
 func (c *Context) WaitUntil(t Time) {
-	if t < c.eng.now {
-		t = c.eng.now
+	e := c.eng
+	if t < e.now {
+		t = e.now
 	}
-	c.wakeAt(t)
-	c.yieldToEngine()
+	// Arm the wake record inline (atWake unrolled) so the solo-wake check
+	// below can compare the queue head against it by pointer.
+	e.seq++
+	r := e.q.get()
+	r.at, r.seq, r.ctx, r.gen = t, e.seq, c, c.gen
+	e.q.push(r)
+	// Solo-wake fast path: if our own wake is the next due event and the
+	// run's bounds allow dispatching it now, consume it inline — advance
+	// the clock and keep running with zero channel operations. Dispatch
+	// order is unchanged: the record was the exact next pop, so this is the
+	// same transfer the loop would have performed, minus the park.
+	if !e.halted && !(e.bounded && t > e.bound) && !(e.budgeted && e.budget == 0) && e.q.peek() == r {
+		if e.budgeted {
+			e.budget--
+		}
+		e.q.next(e.bound, e.bounded) // pops r: it is the head, within bound
+		e.q.put(r)
+		e.now = t
+		c.gen++
+		return
+	}
+	c.parkAndDispatch()
 }
 
 // Sleep advances the context by d cycles.
@@ -119,11 +162,11 @@ func (c *Context) Block() {
 	c.blocked = true
 	if c.BlockNote != nil {
 		t0 := c.eng.now
-		c.yieldToEngine()
+		c.parkAndDispatch()
 		c.BlockNote(t0, c.eng.now)
 		return
 	}
-	c.yieldToEngine()
+	c.parkAndDispatch()
 }
 
 // Unblock schedules the context to resume at the current time. It must be
@@ -203,19 +246,43 @@ func (g *Gate) Reset() {
 // returned. Useful for deadlock diagnostics.
 func (e *Engine) Live() int { return e.nlive }
 
-// Stuck lists the live contexts (name and state) — the ones a deadlock
-// report should name. The engine prunes finished contexts lazily here.
-func (e *Engine) Stuck() []string {
+// retire is called by a finishing context (which still holds the baton).
+// Pruning ctxs is amortized: once finished contexts make up half the slice,
+// one O(len) compaction reclaims them, keeping ctxs within a constant factor
+// of the live count instead of growing with every context ever spawned.
+func (e *Engine) retire() {
+	e.ndone++
+	if e.ndone*2 >= len(e.ctxs) && len(e.ctxs) >= 16 {
+		e.pruneCtxs()
+	}
+}
+
+// pruneCtxs compacts ctxs down to the live contexts, nilling the tail so
+// finished contexts are not pinned by the retained array.
+func (e *Engine) pruneCtxs() {
 	kept := e.ctxs[:0]
-	var out []string
 	for _, c := range e.ctxs {
-		if c.done {
-			continue
+		if !c.done {
+			kept = append(kept, c)
 		}
-		kept = append(kept, c)
-		out = append(out, c.String())
+	}
+	for i := len(kept); i < len(e.ctxs); i++ {
+		e.ctxs[i] = nil
 	}
 	e.ctxs = kept
+	e.ndone = 0
+}
+
+// Stuck lists the live contexts (name and state) — the ones a deadlock
+// report should name. It also prunes finished contexts.
+func (e *Engine) Stuck() []string {
+	var out []string
+	for _, c := range e.ctxs {
+		if !c.done {
+			out = append(out, c.String())
+		}
+	}
+	e.pruneCtxs()
 	return out
 }
 

@@ -3,16 +3,30 @@
 // The engine owns virtual time. Work is expressed either as plain callback
 // events (Engine.At / Engine.After) or as coroutine contexts (Engine.Spawn)
 // that model sequential agents such as processors. At any instant exactly one
-// logical activity runs — the engine loop, one event callback, or one
-// context — so simulation state never needs locking and runs are fully
-// deterministic: events at equal times fire in scheduling order.
+// logical activity runs — one event callback or one context — so simulation
+// state never needs locking and runs are fully deterministic: events at equal
+// times fire in scheduling order.
+//
+// Control transfer is baton-passing: the dispatch loop is not pinned to the
+// goroutine that called Run. Whichever goroutine holds the baton — the Run
+// caller initially, then a parking or finishing context — pops the next due
+// event itself, runs callbacks and sinks inline, and hands the baton directly
+// to the next context's resume channel. A context-to-context switch therefore
+// costs one channel operation instead of two (there is no hop through a
+// central engine goroutine), and a context whose own wake is the next due
+// event consumes it inline with zero channel operations (the solo-wake fast
+// path in WaitUntil). The baton returns to the Run goroutine only when a stop
+// condition is reached: queue drained, Halt, a RunUntil bound or a RunLimit
+// budget.
 //
 // Scheduling is a pooled two-level ladder queue (see ladder.go): typed event
 // records from a free list, time-indexed buckets for the near future, a
 // sorted overflow tier for far-future timers. Steady-state scheduling is
-// allocation-free. One engine belongs to one goroutine (the one that calls
-// Run); independent engines on separate goroutines share nothing, which is
-// the confinement rule the fanout package's parallel harness relies on.
+// allocation-free. One engine belongs to one driving goroutine (the one that
+// calls Run); within a run its state migrates with the baton, and every
+// handoff is a channel operation, so the migration is race-free. Independent
+// engines driven from separate goroutines share nothing, which is the
+// confinement rule the fanout package's parallel harness relies on.
 package sim
 
 import "fmt"
@@ -23,18 +37,30 @@ type Time = uint64
 // Engine is a discrete-event scheduler. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now    Time
-	q      ladder
-	seq    uint64
-	yield  chan struct{} // contexts hand control back to the engine here
-	nlive  int           // live (un-finished) contexts
+	now Time
+	q   ladder
+	seq uint64
+	// baton returns control to the Run goroutine: whichever goroutine holds
+	// the baton when a stop condition is reached sends here and the Run
+	// caller resumes. Capacity 1 so the sender never blocks on the handback.
+	baton  chan struct{}
+	nlive  int // live (un-finished) contexts
 	halted bool
-	// ctxPanic carries a panic out of a context goroutine so the engine
+	// Bounds of the current run, consulted by the baton holder on every
+	// dispatch. Exactly one goroutine holds the baton at a time and every
+	// handoff synchronizes through a channel, so these fields — like now, q
+	// and seq — migrate across goroutines without locks.
+	bounded  bool
+	bound    Time // no event after bound fires while bounded (RunUntil)
+	budgeted bool
+	budget   uint64 // events left to dispatch while budgeted (RunLimit)
+	// ctxPanic carries a panic out of a context goroutine so the Run
 	// goroutine can re-raise it where callers can see it.
 	ctxPanic *panicValue
-	// ctxs tracks spawned contexts for deadlock diagnostics (pruned lazily
-	// by Stuck).
-	ctxs []*Context
+	// ctxs tracks spawned contexts for deadlock diagnostics. Finished
+	// contexts are pruned by amortized compaction (retire) and by Stuck.
+	ctxs  []*Context
+	ndone int // finished contexts not yet pruned from ctxs
 }
 
 type panicValue struct {
@@ -45,7 +71,7 @@ type panicValue struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{}), q: newLadder()}
+	return &Engine{baton: make(chan struct{}, 1), q: newLadder()}
 }
 
 // Now returns the current simulation time.
@@ -64,7 +90,7 @@ func (e *Engine) At(t Time, fn func()) {
 }
 
 // atWake schedules a closure-free context wake-up record (the hot path of
-// Sleep/WaitUntil/UnblockAt; see dispatch).
+// Block/Unblock; WaitUntil arms its record inline for the solo-wake check).
 func (e *Engine) atWake(t Time, c *Context, gen uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling wake at %d before now %d", t, e.now))
@@ -106,42 +132,93 @@ func (e *Engine) Pending() int { return e.q.size }
 // that reached their measurement and do not care about draining the queue.
 func (e *Engine) Halt() { e.halted = true }
 
-// dispatch advances the clock to r and fires it. The record is recycled
-// before the payload runs so the callback can immediately reuse it.
-func (e *Engine) dispatch(r *event) {
-	e.now = r.at
-	if c := r.ctx; c != nil {
-		gen := r.gen
-		e.q.put(r)
-		// A wake is stale — and dropped — if the context finished or was
-		// resumed through another path since the wake was armed.
-		if !c.done && c.gen == gen {
-			c.transfer()
+// batonStatus is the outcome of one advance call: why the dispatch loop on
+// this goroutine ended.
+type batonStatus int
+
+const (
+	// batonSelf: the caller's own wake fired; it keeps the baton and
+	// continues inline (no channel operation happened).
+	batonSelf batonStatus = iota
+	// batonHanded: the baton was passed to another context's resume
+	// channel; the caller must park or exit.
+	batonHanded
+	// batonStop: a stop condition (drained queue, Halt, bound, budget) was
+	// reached; the caller still holds the baton and must return it to the
+	// Run goroutine.
+	batonStop
+)
+
+// advance is the dispatch loop, run by whichever goroutine holds the baton:
+// it pops events in (at, seq) order, runs callbacks and sinks inline, drops
+// stale wakes, and ends when control must move. self is the parked context
+// running the loop, or nil when the holder is the Run goroutine or a
+// finishing context (whose own wake can no longer fire).
+func (e *Engine) advance(self *Context) batonStatus {
+	for {
+		if e.halted || (e.budgeted && e.budget == 0) {
+			return batonStop
 		}
-		return
-	}
-	if s := r.sink; s != nil {
-		op, p0, p1 := r.op, r.p0, r.gen
+		r := e.q.next(e.bound, e.bounded)
+		if r == nil {
+			return batonStop
+		}
+		if e.budgeted {
+			e.budget--
+		}
+		e.now = r.at
+		if c := r.ctx; c != nil {
+			gen := r.gen
+			e.q.put(r)
+			// A wake is stale — and dropped — if the context finished or
+			// was resumed through another path since the wake was armed.
+			if c.done || c.gen != gen {
+				continue
+			}
+			c.blocked = false
+			if c == self {
+				c.gen++
+				return batonSelf
+			}
+			c.resume <- struct{}{}
+			return batonHanded
+		}
+		if s := r.sink; s != nil {
+			op, p0, p1 := r.op, r.p0, r.gen
+			e.q.put(r)
+			s.Fire(op, p0, p1)
+			continue
+		}
+		fn := r.fn
 		e.q.put(r)
-		s.Fire(op, p0, p1)
-		return
+		fn()
 	}
-	fn := r.fn
-	e.q.put(r)
-	fn()
+}
+
+// runAsMain drives the loop from the Run goroutine: dispatch until the baton
+// leaves (then wait for it back) or a stop condition ends the run directly.
+func (e *Engine) runAsMain() {
+	if e.advance(nil) == batonHanded {
+		e.waitBaton()
+	}
+}
+
+// waitBaton parks the Run goroutine until a stop condition returns the
+// baton, re-raising any panic recorded by a context in the meantime.
+func (e *Engine) waitBaton() {
+	<-e.baton
+	if p := e.ctxPanic; p != nil {
+		e.ctxPanic = nil
+		panic(fmt.Sprintf("sim: context %s panicked: %v\n--- context stack ---\n%s", p.ctx, p.val, p.stack))
+	}
 }
 
 // Run executes events in time order until the queue is empty or Halt is
 // called. It must be called from the goroutine that created the engine.
 func (e *Engine) Run() {
 	e.halted = false
-	for !e.halted {
-		r := e.q.next(0, false)
-		if r == nil {
-			return
-		}
-		e.dispatch(r)
-	}
+	e.bounded, e.budgeted = false, false
+	e.runAsMain()
 }
 
 // RunLimit executes at most max events in time order, stopping early on an
@@ -150,30 +227,24 @@ func (e *Engine) Run() {
 // broken-protocol mutations can livelock) should treat the run as stuck.
 func (e *Engine) RunLimit(max uint64) bool {
 	e.halted = false
-	for n := uint64(0); n < max; n++ {
-		if e.halted {
-			return true
-		}
-		r := e.q.next(0, false)
-		if r == nil {
-			return true
-		}
-		e.dispatch(r)
+	e.bounded = false
+	e.budgeted, e.budget = true, max
+	e.runAsMain()
+	e.budgeted = false
+	if e.budget == 0 {
+		return e.q.size == 0
 	}
-	return e.q.size == 0
+	return true
 }
 
 // RunUntil executes events up to and including time t, leaving later events
 // queued. The clock ends at t even if the queue drains earlier.
 func (e *Engine) RunUntil(t Time) {
 	e.halted = false
-	for !e.halted {
-		r := e.q.next(t, true)
-		if r == nil {
-			break
-		}
-		e.dispatch(r)
-	}
+	e.budgeted = false
+	e.bounded, e.bound = true, t
+	e.runAsMain()
+	e.bounded = false
 	if e.now < t {
 		e.now = t
 	}

@@ -16,6 +16,8 @@
 package fanout
 
 import (
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
 )
@@ -28,6 +30,19 @@ func Workers(n int) int {
 		return max
 	}
 	return n
+}
+
+// WarnIfSerial warns on w when parallelism was requested (requested != 1:
+// explicit fan-out or 0 = all cores) but GOMAXPROCS is 1, so the workers
+// degenerate to a serial run and any serial-vs-parallel comparison is
+// meaningless. Reports whether it warned. Callers that default to a serial
+// run (requested == 1) stay silent: the user asked for nothing parallel.
+func WarnIfSerial(w io.Writer, requested int) bool {
+	if requested == 1 || runtime.GOMAXPROCS(0) > 1 {
+		return false
+	}
+	fmt.Fprintln(w, "warning: GOMAXPROCS=1 — parallel workers degenerate to a serial run on this host")
+	return true
 }
 
 // Run executes job(0..n-1) on at most workers goroutines and returns the

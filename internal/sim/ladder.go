@@ -177,6 +177,28 @@ func (l *ladder) next(bound Time, bounded bool) *event {
 	}
 }
 
+// peek returns the record next would dequeue — the minimum pending (at, seq)
+// — without removing it, or nil when the queue is empty. Eligible overflow
+// records migrate to the near tier first (the same eager drain push and next
+// perform, so it cannot disturb the ordering contract); the cursor does not
+// advance. The solo-wake fast path uses peek to recognize, by pointer
+// identity, that a context's freshly-armed wake is the next due event.
+func (l *ladder) peek() *event {
+	if l.size == 0 {
+		return nil
+	}
+	for len(l.ovf) > 0 && l.ovf[0].at < l.base+ladderWindow {
+		l.pushNear(l.ovfPop())
+	}
+	if l.near == 0 {
+		// Everything pending is far-future; the overflow minimum is the
+		// head (near-tier records are always earlier when present).
+		return l.ovf[0]
+	}
+	at := l.base + Time(l.nextOccupied())
+	return l.buckets[int(at&ladderMask)].head
+}
+
 // nextOccupied returns the ring distance from the cursor to the first
 // occupied bucket (0 when the cursor's own bucket is occupied). Callers
 // guarantee near > 0. Cost: a handful of 64-bucket-wide bitmap words.

@@ -218,3 +218,57 @@ func TestLadderPoolReuse(t *testing.T) {
 		t.Fatalf("free list has %d records after run; want a small warm pool", free)
 	}
 }
+
+// TestLadderPeek: peek must always return exactly the record next would pop,
+// across both tiers and through overflow migration, without consuming it.
+func TestLadderPeek(t *testing.T) {
+	l := newLadder()
+	if l.peek() != nil {
+		t.Fatal("peek on empty ladder not nil")
+	}
+	mk := func(at Time, seq uint64) *event {
+		r := l.get()
+		r.at, r.seq = at, seq
+		l.push(r)
+		return r
+	}
+	near := mk(5, 2)
+	mk(9, 3)
+	mk(ladderWindow*2, 1) // far-future: overflow tier
+	if got := l.peek(); got != near {
+		t.Fatalf("peek = (at %d, seq %d), want the near minimum (5, 2)", got.at, got.seq)
+	}
+	if l.size != 3 {
+		t.Fatalf("peek consumed: size %d", l.size)
+	}
+	// Drain and re-check peek == next at every step.
+	for l.size > 0 {
+		want := l.peek()
+		got := l.next(0, false)
+		if got != want {
+			t.Fatalf("peek (at %d, seq %d) != next (at %d, seq %d)", want.at, want.seq, got.at, got.seq)
+		}
+		l.put(got)
+	}
+	if l.peek() != nil {
+		t.Fatal("peek on drained ladder not nil")
+	}
+}
+
+// TestLadderPeekOverflowOnly: with only far-future records pending, peek
+// returns the overflow minimum without advancing the cursor.
+func TestLadderPeekOverflowOnly(t *testing.T) {
+	l := newLadder()
+	r := l.get()
+	r.at, r.seq = ladderWindow*5, 1
+	l.push(r)
+	if got := l.peek(); got != r {
+		t.Fatal("peek missed the overflow minimum")
+	}
+	if l.base != 0 {
+		t.Fatalf("peek advanced the cursor to %d", l.base)
+	}
+	if got := l.next(0, false); got != r {
+		t.Fatal("next after peek wrong")
+	}
+}
