@@ -5,6 +5,9 @@
 #                  live invariants + per-location SC history checking) on
 #                  both perfect and lossy wires (seeded drop/dup/reorder
 #                  with reliable delivery recovering)
+#   make explore-smoke  depth-bounded schedule-space exploration (model
+#                  checking) of a 4-node machine: every reachable
+#                  interleaving within bounds must pass every oracle
 #   make stress    the longer fuzz run used before cutting a release
 #   make perf      fixed workload suite -> BENCH_sim.json (ops/sec,
 #                  wall-clock, allocs/op); later PRs gate on regressions
@@ -26,9 +29,9 @@ GO ?= go
 
 COVER_FLOOR ?= 60
 
-.PHONY: check build vet test cover stress-smoke stress-smoke-lossy stress bench perf perf-check perf-quick
+.PHONY: check build vet test cover stress-smoke stress-smoke-lossy explore-smoke stress bench perf perf-check perf-quick
 
-check: build vet test cover stress-smoke stress-smoke-lossy perf-check
+check: build vet test cover stress-smoke stress-smoke-lossy explore-smoke perf-check
 
 build:
 	$(GO) build ./...
@@ -54,6 +57,10 @@ stress-smoke:
 
 stress-smoke-lossy:
 	$(GO) run ./cmd/alewife-stress -loss -ops 2000 -seeds 8 -parallel 0
+
+explore-smoke:
+	$(GO) run ./cmd/alewife-explore -nodes 4 -ops 10 -lines 2 -depth 24 -runs 300 -v
+	$(GO) run ./cmd/alewife-explore -nodes 3 -ops 8 -lines 2 -faultpackets 3 -runs 300
 
 stress:
 	$(GO) run ./cmd/alewife-stress -ops 5000 -seeds 64 -parallel 0

@@ -1,0 +1,152 @@
+// Command alewife-explore model-checks the coherence protocol: instead of
+// sampling one interleaving per seed the way alewife-stress does, it takes
+// ownership of the simulator's schedule (and, with -faultpackets, of
+// packet fates) and walks the space of interleavings by bounded DFS with
+// sleep-set partial-order reduction and state-hash pruning, running the
+// full oracle set on every schedule.
+//
+// Usage:
+//
+//	alewife-explore -nodes 3 -ops 12                 # explore the default space
+//	alewife-explore -fault accept-stale -faultpackets 6   # find a wire-fault bug
+//	alewife-explore -fault no-retransmit -faultpackets 6 -out cex.trace
+//	alewife-explore -replay cex.trace                # reproduce it byte-identically
+//
+// Exit status: 0 when no schedule violates an oracle, 1 when a violation
+// was found (the minimized counterexample trace is printed, and written
+// with -out), 2 on a configuration error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"alewife/internal/explore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alewife-explore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 0, "program-generator seed (the space is a pure function of it)")
+	nodes := fs.Int("nodes", 3, "simulated processors")
+	ops := fs.Int("ops", 12, "operations per processor (schedule count explodes with this)")
+	lines := fs.Int("lines", 2, "contended cache lines")
+	mix := fs.String("mix", "", "op-kind weights, 9 comma-separated ints (read,write,fetchadd,prefetch,send,dma,readmail,mask,compute)")
+	fault := fs.String("fault", "", "inject a protocol mutation (one of "+strings.Join(explore.MutationNames(), ", ")+")")
+	depth := fs.Int("depth", 64, "choice points eligible for branching per run")
+	runs := fs.Int("runs", 400, "schedule budget")
+	width := fs.Int("width", 0, "alternatives explored per choice point (0 = all)")
+	faultPackets := fs.Int("faultpackets", 0, "branch drop/dup fates for the first n packets")
+	noDedup := fs.Bool("no-dedup", false, "disable state-hash pruning")
+	noPOR := fs.Bool("no-por", false, "disable sleep-set partial-order reduction")
+	shrink := fs.Int("shrink", 150, "re-executions spent minimizing a counterexample (negative = off)")
+	out := fs.String("out", "", "write the counterexample trace to this file")
+	replay := fs.String("replay", "", "replay a counterexample trace file instead of exploring")
+	verbose := fs.Bool("v", false, "print exploration statistics even on success")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *replay != "" {
+		return doReplay(*replay, stdout, stderr)
+	}
+
+	f := &explore.File{Seed: *seed, Nodes: *nodes, Ops: *ops, Lines: *lines,
+		Mutation: *fault, FaultPackets: *faultPackets}
+	if *mix != "" {
+		for _, p := range strings.Split(*mix, ",") {
+			w, err := strconv.Atoi(p)
+			if err != nil {
+				fmt.Fprintf(stderr, "bad -mix weight %q: %v\n", p, err)
+				return 2
+			}
+			f.Mix = append(f.Mix, w)
+		}
+	}
+	if *fault != "" {
+		if _, ok := explore.Mutations[*fault]; !ok {
+			fmt.Fprintf(stderr, "unknown -fault %q; one of %v\n", *fault, explore.MutationNames())
+			return 2
+		}
+	}
+	cfg, err := f.Config()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cfg.MaxDepth = *depth
+	cfg.MaxRuns = *runs
+	cfg.MaxWidth = *width
+	cfg.NoDedup = *noDedup
+	cfg.NoPOR = *noPOR
+	cfg.ShrinkBudget = *shrink
+	if cfg.ShrinkBudget == 0 {
+		cfg.ShrinkBudget = -1 // flag 0 means off; Config 0 means default
+	}
+
+	res, err := explore.Explore(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if !res.Found {
+		if *verbose || !res.Exhausted {
+			fmt.Fprint(stdout, res.Summary())
+		} else {
+			fmt.Fprintf(stdout, "ok: no violation across %d schedules (space covered within bounds)\n", res.Runs)
+		}
+		return 0
+	}
+
+	fmt.Fprint(stdout, res.Summary())
+	fmt.Fprint(stdout, res.Result.Report())
+	f.Steps = res.Trace
+	data := f.Encode()
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "counterexample written to %s (replay: alewife-explore -replay %s)\n", *out, *out)
+	} else {
+		fmt.Fprintf(stdout, "counterexample trace:\n%s", data)
+	}
+	return 1
+}
+
+func doReplay(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	f, err := explore.Decode(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", path, err)
+		return 2
+	}
+	cfg, err := f.Config()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	res, _, err := explore.Replay(cfg, f.Steps)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprint(stdout, res.Report())
+	if res.Failed() {
+		return 1
+	}
+	fmt.Fprintln(stdout, "replay passed: the trace no longer reproduces a violation")
+	return 0
+}

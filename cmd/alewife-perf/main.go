@@ -139,7 +139,11 @@ func contextSwitch(n int64) int64 {
 func stressSeed(ops int) int64 {
 	cfg := stress.DefaultConfig(1)
 	cfg.Ops = ops
-	res := stress.Run(cfg)
+	res, err := stress.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if res.Failed() {
 		fmt.Fprint(os.Stderr, res.Report())
 		os.Exit(1)
@@ -301,7 +305,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fanout.Run(s.batchSeeds, w, func(i int) int64 {
 			cfg := stress.DefaultConfig(uint64(i))
 			cfg.Ops = s.seedOps
-			return stress.Run(cfg).TotalOps
+			res, err := stress.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			return res.TotalOps
 		})
 	}
 	runBench := func(w int) {

@@ -129,12 +129,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			cfg.NetFault.Seed = *netseed
 		}
-		res := stress.Run(cfg)
+		res, err := stress.Run(cfg)
 		var b strings.Builder
+		if err != nil {
+			fmt.Fprintf(&b, "seed %#x: bad config: %v\n", cfg.Seed, err)
+			return seedResult{out: b.String(), failed: true}
+		}
 		if res.Failed() {
 			b.WriteString(res.Report())
 			if *shrink {
-				prog, sres := stress.Shrink(cfg, stress.Generate(cfg), 0)
+				prog, sres, _ := stress.Shrink(cfg, stress.Generate(cfg), 0)
 				fmt.Fprintf(&b, "shrunk to %d ops (from %d); minimal repro still fails:\n",
 					stress.CountOps(prog), *ops**nodes)
 				b.WriteString(sres.Report())

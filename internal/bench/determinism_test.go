@@ -132,7 +132,10 @@ func TestParallelStressBatchMatchesSerial(t *testing.T) {
 	run := func(i int) string {
 		cfg := stress.DefaultConfig(uint64(i))
 		cfg.Ops = 200
-		res := stress.Run(cfg)
+		res, err := stress.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return res.Report()
 	}
 	var serial strings.Builder

@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/internal/machine"
+	"alewife/internal/mem"
+)
+
+// The directory corner states the PR 2/3 work hardened — an eviction's
+// writeback racing a pending fill, the LimitLESS hardware-pointer overflow
+// boundary, and generation-stamped fill-ticket reuse — are transient: they
+// exist for a handful of cycles mid-protocol, exactly what random stress
+// may or may not sample. Here the explorer drives the machine through its
+// schedule space with an Observe probe at every choice point and requires
+// (a) each corner configuration is actually witnessed on some explored
+// schedule, and (b) no schedule violates any oracle while passing through
+// them. Witnessing proves the schedules reach the corners; the oracles
+// prove the corners are handled.
+func TestDirectoryCornerStatesExplored(t *testing.T) {
+	var (
+		pendWhileWBInFlight bool // pend-state entry while a dirty writeback is racing it
+		atPointerBoundary   bool // exactly HWPointers sharers, not yet overflowed
+		overflowed          bool // more sharers than pointers: LimitLESS software path
+		ticketReused        bool // a pooled fill transaction retired and reissued
+	)
+	probe := func(m *machine.Machine) {
+		wbs := m.Fab.Check.PendingWritebacks()
+		for _, c := range m.Fab.Ctrls {
+			if c.TxnRecycled() > 0 {
+				ticketReused = true
+			}
+			c.EachDirEntry(func(_ mem.Addr, state string, sharers, _ int, overflow bool, _ int) {
+				if strings.HasPrefix(state, "pend") && wbs > 0 {
+					pendWhileWBInFlight = true
+				}
+				if sharers == 2 && !overflow {
+					atPointerBoundary = true
+				}
+				if overflow && sharers >= 3 {
+					overflowed = true
+				}
+			})
+		}
+	}
+
+	cfg := Config{MaxRuns: 400, Observe: probe}
+	cfg.Stress.Seed = 9
+	cfg.Stress.Nodes = 4
+	cfg.Stress.Ops = 16
+	cfg.Stress.Lines = 6 // 6 lines over a 4-set direct-mapped cache: eviction pressure
+	out, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Found {
+		t.Fatalf("corner-state schedule violated an oracle:\n%s", out.Result.Report())
+	}
+	for name, seen := range map[string]bool{
+		"pend-entry while writeback in flight":    pendWhileWBInFlight,
+		"exactly-HWPointers sharers (boundary)":   atPointerBoundary,
+		"LimitLESS overflow (sharers > pointers)": overflowed,
+		"fill-ticket generation reuse":            ticketReused,
+	} {
+		if !seen {
+			t.Errorf("corner state never witnessed across %d schedules: %s", out.Runs, name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package explore
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "re-find the committed counterexample and rewrite the replay goldens")
+
+// TestReplayGolden is the replay-determinism contract, pinned to disk: a
+// counterexample trace found once (by -update-golden) is committed under
+// testdata, and every future run — including under the race detector, on
+// any host — must replay it to the byte-identical failure report. Any
+// nondeterminism anywhere in the stack (map iteration in a digest, time
+// in a choice point, unstable candidate ordering) breaks this test.
+//
+// The committed counterexample is the no-retransmit reliability mutation:
+// its failure is a checker violation with a stable report (panic-class
+// violations embed Go stack captures, which carry goroutine IDs).
+func TestReplayGolden(t *testing.T) {
+	tracePath := filepath.Join("testdata", "counterexample_no_retransmit.trace")
+	reportPath := filepath.Join("testdata", "counterexample_no_retransmit.report")
+
+	if *updateGolden {
+		f := &File{
+			Seed: 1, Nodes: 3, Ops: 10, Lines: 2,
+			Mix:      sendMix,
+			Mutation: "no-retransmit", FaultPackets: 6,
+		}
+		cfg, err := f.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.MaxRuns = 600
+		out, err := Explore(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Found || len(out.Trace) == 0 {
+			t.Fatalf("no nonempty counterexample to pin (found=%v)", out.Found)
+		}
+		f.Steps = out.Trace
+		if err := os.WriteFile(tracePath, f.Encode(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(reportPath, []byte(out.Result.Report()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to capture): %v", err)
+	}
+	want, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to capture): %v", err)
+	}
+	f, err := Decode(data)
+	if err != nil {
+		t.Fatalf("committed trace does not decode: %v", err)
+	}
+	cfg, err := f.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Replay(cfg, f.Steps)
+	if err != nil {
+		t.Fatalf("committed trace does not replay: %v", err)
+	}
+	if !res.Failed() {
+		t.Fatal("committed counterexample no longer fails")
+	}
+	if got := res.Report(); got != string(want) {
+		t.Fatalf("replayed report is not byte-identical to the golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

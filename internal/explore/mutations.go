@@ -1,0 +1,39 @@
+package explore
+
+import (
+	"sort"
+
+	"alewife/internal/cmmu"
+	"alewife/internal/mem"
+	"alewife/internal/stress"
+)
+
+// Mutations is the explorer's view of the deliberate protocol bugs: the
+// same registry alewife-stress exposes, minus the lossy-wire pairings —
+// the explorer supplies wire faults itself, as explicit branch points
+// (Config.FaultPackets), instead of sampling them from a seed. The
+// regression suite proves the explorer finds every one of these within a
+// bounded schedule budget.
+var Mutations = map[string]func(*stress.Config){
+	"drop-inval":       func(c *stress.Config) { c.MemFault = &mem.Fault{DropInval: true} },
+	"forget-sharer":    func(c *stress.Config) { c.MemFault = &mem.Fault{ForgetSharer: true} },
+	"wrong-owner":      func(c *stress.Config) { c.MemFault = &mem.Fault{WrongOwner: true} },
+	"skip-inval":       func(c *stress.Config) { c.MemFault = &mem.Fault{SkipInval: true} },
+	"wb-to-shared":     func(c *stress.Config) { c.MemFault = &mem.Fault{WBToShared: true} },
+	"drop-writeback":   func(c *stress.Config) { c.MemFault = &mem.Fault{DropWriteback: true} },
+	"drain-masked":     func(c *stress.Config) { c.CMMUFault = &cmmu.Fault{DrainMasked: true} },
+	"drop-ack":         func(c *stress.Config) { c.RelFault = &cmmu.RelFault{DropAck: true} },
+	"accept-stale":     func(c *stress.Config) { c.RelFault = &cmmu.RelFault{AcceptStale: true} },
+	"dedup-off-by-one": func(c *stress.Config) { c.RelFault = &cmmu.RelFault{DedupOffByOne: true} },
+	"no-retransmit":    func(c *stress.Config) { c.RelFault = &cmmu.RelFault{NoRetransmit: true} },
+}
+
+// MutationNames returns the registry's keys in sorted order.
+func MutationNames() []string {
+	names := make([]string, 0, len(Mutations))
+	for name := range Mutations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,205 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Trace files make counterexamples portable: a violation found by one
+// exploration is written out as the run's configuration plus its choice
+// trace, and `alewife-explore -replay` re-executes it byte-identically.
+// The format is a line-oriented text file:
+//
+//	alewife-explore trace v1
+//	seed 0x2a
+//	nodes 3
+//	ops 12
+//	lines 2
+//	mix 28,24,8,8,10,6,6,3,7      (optional)
+//	mutation drop-inval           (optional)
+//	faultpackets 4                (optional)
+//	steps 3
+//	s 1/3
+//	f 2/3
+//	s 2/2
+//
+// Step lines are `s pick/n` (schedule choice) or `f pick/n` (packet-fate
+// choice: 0 deliver, 1 drop, 2 duplicate); n is the alternative count the
+// point offered, which replay cross-checks. Decoding is strict: unknown
+// keys, out-of-range picks, duplicate keys and step-count mismatches are
+// all errors, so a corrupted trace fails loudly instead of replaying some
+// other schedule.
+
+const traceMagic = "alewife-explore trace v1"
+
+// File is a decoded trace file: the knobs that shape the run plus the
+// choice trace. It intentionally captures only the CLI-reachable subset of
+// Config — programmatic users with richer configs keep their own.
+type File struct {
+	Seed         uint64
+	Nodes        int
+	Ops          int
+	Lines        int
+	Mix          []int
+	Mutation     string
+	FaultPackets int
+	Steps        []Step
+}
+
+// Config builds the exploration config the trace describes.
+func (f *File) Config() (Config, error) {
+	cfg := Config{FaultPackets: f.FaultPackets}
+	cfg.Stress.Seed = f.Seed
+	cfg.Stress.Nodes = f.Nodes
+	cfg.Stress.Ops = f.Ops
+	cfg.Stress.Lines = f.Lines
+	cfg.Stress.Mix = f.Mix
+	if f.Mutation != "" {
+		mut, ok := Mutations[f.Mutation]
+		if !ok {
+			return Config{}, fmt.Errorf("trace names unknown mutation %q (have %s)",
+				f.Mutation, strings.Join(MutationNames(), ", "))
+		}
+		mut(&cfg.Stress)
+	}
+	return cfg, nil
+}
+
+// Encode renders the trace file.
+func (f *File) Encode() []byte {
+	var b strings.Builder
+	b.WriteString(traceMagic + "\n")
+	fmt.Fprintf(&b, "seed %#x\n", f.Seed)
+	fmt.Fprintf(&b, "nodes %d\n", f.Nodes)
+	fmt.Fprintf(&b, "ops %d\n", f.Ops)
+	fmt.Fprintf(&b, "lines %d\n", f.Lines)
+	if len(f.Mix) > 0 {
+		parts := make([]string, len(f.Mix))
+		for i, w := range f.Mix {
+			parts[i] = strconv.Itoa(w)
+		}
+		fmt.Fprintf(&b, "mix %s\n", strings.Join(parts, ","))
+	}
+	if f.Mutation != "" {
+		fmt.Fprintf(&b, "mutation %s\n", f.Mutation)
+	}
+	if f.FaultPackets > 0 {
+		fmt.Fprintf(&b, "faultpackets %d\n", f.FaultPackets)
+	}
+	fmt.Fprintf(&b, "steps %d\n", len(f.Steps))
+	for _, s := range f.Steps {
+		b.WriteString(s.String() + "\n")
+	}
+	return []byte(b.String())
+}
+
+// Decode parses a trace file, strictly.
+func Decode(data []byte) (*File, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != traceMagic {
+		return nil, fmt.Errorf("not a trace file: first line must be %q", traceMagic)
+	}
+	f := &File{}
+	seen := map[string]bool{}
+	i := 1
+	nsteps := -1
+	for ; i < len(lines); i++ {
+		line := lines[i]
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed %q", i+1, line)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate key %q", i+1, key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "seed":
+			f.Seed, err = strconv.ParseUint(val, 0, 64)
+		case "nodes":
+			f.Nodes, err = parseCount(val)
+		case "ops":
+			f.Ops, err = parseCount(val)
+		case "lines":
+			f.Lines, err = parseCount(val)
+		case "mix":
+			for _, p := range strings.Split(val, ",") {
+				w, werr := strconv.Atoi(p)
+				if werr != nil {
+					err = fmt.Errorf("bad weight %q", p)
+					break
+				}
+				f.Mix = append(f.Mix, w)
+			}
+		case "mutation":
+			if _, ok := Mutations[val]; !ok {
+				err = fmt.Errorf("unknown mutation %q", val)
+			}
+			f.Mutation = val
+		case "faultpackets":
+			f.FaultPackets, err = parseCount(val)
+		case "steps":
+			nsteps, err = parseCount(val)
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		if key == "steps" {
+			i++
+			break
+		}
+	}
+	if nsteps < 0 {
+		return nil, fmt.Errorf("missing steps header")
+	}
+	for ; i < len(lines); i++ {
+		line := lines[i]
+		if line == "" {
+			continue
+		}
+		s, err := parseStep(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		f.Steps = append(f.Steps, s)
+	}
+	if len(f.Steps) != nsteps {
+		return nil, fmt.Errorf("steps header says %d, file has %d", nsteps, len(f.Steps))
+	}
+	return f, nil
+}
+
+func parseCount(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative count %d", n)
+	}
+	return n, nil
+}
+
+func parseStep(line string) (Step, error) {
+	kind, rest, ok := strings.Cut(line, " ")
+	if !ok || (kind != "s" && kind != "f") {
+		return Step{}, fmt.Errorf("malformed step %q", line)
+	}
+	pickStr, nStr, ok := strings.Cut(rest, "/")
+	if !ok {
+		return Step{}, fmt.Errorf("malformed step %q", line)
+	}
+	pick, err1 := strconv.Atoi(pickStr)
+	n, err2 := strconv.Atoi(nStr)
+	if err1 != nil || err2 != nil || pick < 0 || n < 1 || pick >= n {
+		return Step{}, fmt.Errorf("step %q: pick out of range", line)
+	}
+	return Step{Fault: kind == "f", Pick: pick, N: n}, nil
+}

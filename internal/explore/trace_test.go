@@ -1,0 +1,91 @@
+package explore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	f := &File{
+		Seed:         0x2a,
+		Nodes:        3,
+		Ops:          10,
+		Lines:        2,
+		Mix:          []int{2, 2, 0, 0, 10, 4, 4, 2, 2},
+		Mutation:     "no-retransmit",
+		FaultPackets: 6,
+		Steps: []Step{
+			{Pick: 1, N: 3},
+			{Fault: true, Pick: 2, N: 3},
+			{Pick: 0, N: 2},
+		},
+	}
+	data := f.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(Encode(f)): %v\n%s", err, data)
+	}
+	if !bytes.Equal(got.Encode(), data) {
+		t.Fatalf("re-encode not identical:\n--- first ---\n%s--- second ---\n%s", data, got.Encode())
+	}
+	cfg, err := got.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Stress.Seed != 0x2a || cfg.Stress.RelFault == nil || !cfg.Stress.RelFault.NoRetransmit {
+		t.Fatalf("Config did not apply the trace: %+v", cfg.Stress)
+	}
+	if cfg.FaultPackets != 6 {
+		t.Fatalf("FaultPackets lost: %d", cfg.FaultPackets)
+	}
+}
+
+// Optional keys stay optional: a minimal trace encodes without mix,
+// mutation or faultpackets lines and decodes back.
+func TestTraceMinimal(t *testing.T) {
+	f := &File{Seed: 1, Nodes: 3, Ops: 8, Lines: 2}
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mutation != "" || got.Mix != nil || got.FaultPackets != 0 || len(got.Steps) != 0 {
+		t.Fatalf("minimal trace grew fields: %+v", got)
+	}
+	enc := string(f.Encode())
+	for _, absent := range []string{"mix", "mutation", "faultpackets"} {
+		if strings.Contains(enc, absent) {
+			t.Errorf("minimal encoding contains %q:\n%s", absent, enc)
+		}
+	}
+}
+
+// Decoding is strict: every malformed input names its problem.
+func TestTraceDecodeRejections(t *testing.T) {
+	valid := string((&File{Seed: 1, Nodes: 3, Ops: 8, Lines: 2,
+		Steps: []Step{{Pick: 1, N: 2}}}).Encode())
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "not a trace file"},
+		{"bad-magic", "alewife-explore trace v9\n", "not a trace file"},
+		{"unknown-key", strings.Replace(valid, "nodes 3", "nodez 3", 1), "unknown key"},
+		{"duplicate-key", strings.Replace(valid, "ops 8", "seed 0x2\nops 8", 1), "duplicate key"},
+		{"unknown-mutation", strings.Replace(valid, "steps 1", "mutation bogus\nsteps 1", 1), "unknown mutation"},
+		{"negative-count", strings.Replace(valid, "nodes 3", "nodes -3", 1), "negative count"},
+		{"missing-steps", "alewife-explore trace v1\nseed 0x1\n", "missing steps"},
+		{"step-count-short", strings.Replace(valid, "steps 1", "steps 2", 1), "header says 2"},
+		{"step-count-long", valid + "s 0/2\n", "header says 1"},
+		{"step-pick-out-of-range", strings.Replace(valid, "s 1/2", "s 2/2", 1), "pick out of range"},
+		{"step-negative-pick", strings.Replace(valid, "s 1/2", "s -1/2", 1), "pick out of range"},
+		{"step-bad-kind", strings.Replace(valid, "s 1/2", "x 1/2", 1), "malformed step"},
+		{"step-no-slash", strings.Replace(valid, "s 1/2", "s 12", 1), "malformed step"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode([]byte(tc.in)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Decode: err=%v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -184,9 +184,10 @@ func New(cfg Config) *Machine {
 			lat = 10
 		}
 		// Keep wire-rate serialization so bulk transfers still take time;
-		// only hops and contention vanish.
+		// only hops and contention vanish. Faults apply just as on the mesh,
+		// so lossy ablations (and the schedule explorer) work here too.
 		m.Net = &mesh.Ideal{Eng: m.Eng, N: cfg.Nodes, Latency: lat,
-			BytesPerCycle: cfg.Net.FlitBytes}
+			BytesPerCycle: cfg.Net.FlitBytes, Fault: cfg.Net.Fault}
 	default:
 		m.Net = mesh.New(m.Eng, w, h, cfg.Net, m.St)
 	}
@@ -245,6 +246,7 @@ func (m *Machine) Spawn(node int, at sim.Time, name string, body func(*Proc)) *P
 	p.Ctx = m.Eng.Spawn(fmt.Sprintf("n%d:%s", node, name), at, func(ctx *sim.Context) {
 		body(p)
 	})
+	p.Ctx.Node = int32(node)
 	if p.prof != nil {
 		p.Ctx.BlockNote = p.noteBlock
 	}

@@ -214,7 +214,7 @@ func (m *Mesh) flits(bytes int) uint64 {
 func (m *Mesh) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
 	t := m.route(src, dst, bytes, at)
 	if m.p.Fault != nil {
-		deliverAt, dupAt, drop := m.fault(src, t)
+		deliverAt, dupAt, drop := m.fault(src, dst, t)
 		if drop {
 			return
 		}
@@ -231,7 +231,7 @@ func (m *Mesh) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
 func (m *Mesh) SendMsg(src, dst int, bytes int, at sim.Time, s sim.Sink, op uint32, p0, p1 uint64) {
 	t := m.route(src, dst, bytes, at)
 	if m.p.Fault != nil {
-		deliverAt, dupAt, drop := m.fault(src, t)
+		deliverAt, dupAt, drop := m.fault(src, dst, t)
 		if drop {
 			return
 		}
@@ -384,7 +384,14 @@ type Ideal struct {
 	// transit; the FIFO clamp is the only queueing an ideal network has.
 	Prof *metrics.Profiler
 
+	// Fault mirrors Mesh: when non-nil the ideal network is lossy too. The
+	// schedule explorer depends on this — it runs the protocol over Ideal
+	// (link contention would couple otherwise-independent packets) while
+	// still exploring drop/dup placements through NetFault.Chooser.
+	Fault *NetFault
+
 	lastArrival []sim.Time // dense per-pair floor, sized N*N on first use
+	faultPkts   uint64     // NetFault decision counter
 }
 
 // Nodes implements Network.
@@ -400,12 +407,51 @@ func (i *Ideal) Dist(src, dst int) int {
 
 // Send implements Network.
 func (i *Ideal) Send(src, dst int, bytes int, at sim.Time, deliver func()) {
-	i.Eng.At(i.arrival(src, dst, bytes, at), deliver)
+	t := i.arrival(src, dst, bytes, at)
+	if i.Fault != nil {
+		deliverAt, dupAt, drop := i.fault(src, dst, t)
+		if drop {
+			return
+		}
+		if dupAt > 0 {
+			i.Eng.At(dupAt, deliver)
+		}
+		t = deliverAt
+	}
+	i.Eng.At(t, deliver)
 }
 
 // SendMsg implements Network: same timing as Send, pooled delivery.
 func (i *Ideal) SendMsg(src, dst int, bytes int, at sim.Time, s sim.Sink, op uint32, p0, p1 uint64) {
-	i.Eng.AtSink(i.arrival(src, dst, bytes, at), s, op, p0, p1)
+	t := i.arrival(src, dst, bytes, at)
+	if i.Fault != nil {
+		deliverAt, dupAt, drop := i.fault(src, dst, t)
+		if drop {
+			return
+		}
+		if dupAt > 0 {
+			i.Eng.AtSink(dupAt, s, op, p0, p1)
+		}
+		t = deliverAt
+	}
+	i.Eng.AtSink(t, s, op, p0, p1)
+}
+
+// fault is Ideal's NetFault application: same verdict stream and delay
+// semantics as Mesh.fault (reorder delays land after the FIFO clamp), no
+// stats wiring.
+func (i *Ideal) fault(src, dst int, t sim.Time) (deliver, dup sim.Time, drop bool) {
+	i.faultPkts++
+	kind, delay := i.Fault.Resolve(src, dst, i.faultPkts)
+	switch kind {
+	case FaultDrop:
+		return 0, 0, true
+	case FaultDup:
+		return t, t + delay, false
+	case FaultReorder:
+		return t + delay, 0, false
+	}
+	return t, 0, false
 }
 
 func (i *Ideal) arrival(src, dst int, bytes int, at sim.Time) sim.Time {

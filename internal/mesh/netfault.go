@@ -30,15 +30,32 @@ type NetFault struct {
 	// sized to overtake a handful of subsequent packets.
 	ReorderMax uint64
 	DupMax     uint64
+
+	// Chooser, when non-nil, replaces the seeded coin: every packet's fate
+	// is delegated to it instead of the probability fields above. The
+	// schedule explorer uses this to enumerate fault placements
+	// systematically rather than sampling them.
+	Chooser FaultChooser
 }
 
-// Fault verdicts.
+// Fault verdicts, exported for FaultChooser implementations.
 const (
-	faultNone = iota
-	faultDrop
-	faultDup
-	faultReorder
+	FaultNone = iota
+	FaultDrop
+	FaultDup
+	FaultReorder
 )
+
+// FaultChooser decides packet fates one at a time. ChooseFault is called
+// with the endpoints and the per-network packet ordinal n (1-based, the
+// same counter the seeded schedule hashes) and returns the verdict plus
+// the fault's delay parameter: the extra cycles a duplicate's second copy
+// lags, or a reordered packet is delayed. A zero delay picks the default
+// magnitude (half the configured maximum); the delay is ignored for
+// FaultNone and FaultDrop.
+type FaultChooser interface {
+	ChooseFault(src, dst int, n uint64) (kind int, delay uint64)
+}
 
 const (
 	defaultReorderMax = 256
@@ -74,13 +91,40 @@ func (ft *NetFault) verdict(n uint64) (kind int, h uint64) {
 	u := float64(h&0xffffffff) / (1 << 32) // uniform in [0,1)
 	switch {
 	case u < ft.Drop:
-		return faultDrop, h
+		return FaultDrop, h
 	case u < ft.Drop+ft.Dup:
-		return faultDup, h
+		return FaultDup, h
 	case u < ft.Drop+ft.Dup+ft.Reorder:
-		return faultReorder, h
+		return FaultReorder, h
 	}
-	return faultNone, h
+	return FaultNone, h
+}
+
+// Resolve decides packet n's fate and delay: the Chooser decides when one
+// is installed, the seeded hash otherwise. Either way the delay magnitudes
+// match: 1..max cycles, default max derived the same way.
+func (ft *NetFault) Resolve(src, dst int, n uint64) (kind int, delay uint64) {
+	if ft.Chooser != nil {
+		kind, delay = ft.Chooser.ChooseFault(src, dst, n)
+		if delay == 0 {
+			switch kind {
+			case FaultDup:
+				delay = 1 + ft.dupMax()/2
+			case FaultReorder:
+				delay = 1 + ft.reorderMax()/2
+			}
+		}
+		return kind, delay
+	}
+	var h uint64
+	kind, h = ft.verdict(n)
+	switch kind {
+	case FaultDup:
+		delay = 1 + (h>>32)%ft.dupMax()
+	case FaultReorder:
+		delay = 1 + (h>>32)%ft.reorderMax()
+	}
+	return kind, delay
 }
 
 // fault applies the configured packet faults to a routed delivery time t.
@@ -88,26 +132,25 @@ func (ft *NetFault) verdict(n uint64) (kind int, h uint64) {
 // for a duplicated packet (0 otherwise), and whether the packet is dropped.
 // Reorder delays are added after route's per-pair FIFO clamp, so a delayed
 // packet genuinely lands behind later traffic between the same endpoints.
-func (m *Mesh) fault(src int, t sim.Time) (deliver, dup sim.Time, drop bool) {
-	ft := m.p.Fault
+func (m *Mesh) fault(src, dst int, t sim.Time) (deliver, dup sim.Time, drop bool) {
 	m.faultPkts++
-	kind, h := ft.verdict(m.faultPkts)
+	kind, delay := m.p.Fault.Resolve(src, dst, m.faultPkts)
 	switch kind {
-	case faultDrop:
+	case FaultDrop:
 		if m.st != nil {
 			m.st.Inc(src, stats.NetFaultDrops)
 		}
 		return 0, 0, true
-	case faultDup:
+	case FaultDup:
 		if m.st != nil {
 			m.st.Inc(src, stats.NetFaultDups)
 		}
-		return t, t + 1 + (h>>32)%ft.dupMax(), false
-	case faultReorder:
+		return t, t + delay, false
+	case FaultReorder:
 		if m.st != nil {
 			m.st.Inc(src, stats.NetFaultReorders)
 		}
-		return t + 1 + (h>>32)%ft.reorderMax(), 0, false
+		return t + delay, 0, false
 	}
 	return t, 0, false
 }

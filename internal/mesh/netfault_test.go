@@ -131,7 +131,7 @@ func TestNetFaultVerdictRatesRoughlyMatch(t *testing.T) {
 		k, _ := ft.verdict(i)
 		counts[k]++
 	}
-	for _, k := range []int{faultDrop, faultDup, faultReorder} {
+	for _, k := range []int{FaultDrop, FaultDup, FaultReorder} {
 		rate := float64(counts[k]) / n
 		if rate < 0.04 || rate > 0.06 {
 			t.Fatalf("verdict class %d rate %.4f, want ~0.05", k, rate)

@@ -29,6 +29,11 @@ type Context struct {
 	// woke is known to the caller that parked, so the caller tags the wait
 	// and this hook supplies the measured duration. Nil costs one branch.
 	BlockNote func(parked, woke Time)
+
+	// Node identifies the processor this context models, for Chooser
+	// descriptors; -1 (the default) means the context belongs to no
+	// particular node and its wakes are opaque to partial-order reduction.
+	Node int32
 }
 
 // Name returns the context's debug name.
@@ -46,7 +51,7 @@ func (c *Context) Done() bool { return c.done }
 // Spawn creates a context whose body starts running at time `at`. The body
 // executes in simulation order; fn returning ends the context.
 func (e *Engine) Spawn(name string, at Time, fn func(*Context)) *Context {
-	c := &Context{eng: e, name: name, resume: make(chan struct{}, 1)}
+	c := &Context{eng: e, name: name, resume: make(chan struct{}, 1), Node: -1}
 	e.nlive++
 	e.ctxs = append(e.ctxs, c)
 	go func() {
@@ -137,8 +142,10 @@ func (c *Context) WaitUntil(t Time) {
 	// run's bounds allow dispatching it now, consume it inline — advance
 	// the clock and keep running with zero channel operations. Dispatch
 	// order is unchanged: the record was the exact next pop, so this is the
-	// same transfer the loop would have performed, minus the park.
-	if !e.halted && !(e.bounded && t > e.bound) && !(e.budgeted && e.budget == 0) && e.q.peek() == r {
+	// same transfer the loop would have performed, minus the park. Disabled
+	// under a chooser: other events ready at the same cycle must be offered
+	// as alternatives, so every dispatch has to go through the loop.
+	if e.chooser == nil && !e.halted && !(e.bounded && t > e.bound) && !(e.budgeted && e.budget == 0) && e.q.peek() == r {
 		if e.budgeted {
 			e.budget--
 		}

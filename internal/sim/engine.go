@@ -61,6 +61,12 @@ type Engine struct {
 	// contexts are pruned by amortized compaction (retire) and by Stuck.
 	ctxs  []*Context
 	ndone int // finished contexts not yet pruned from ctxs
+	// chooser, when non-nil, decides which of several same-cycle events
+	// fires first (see SetChooser). candBuf/choiceBuf are its reusable
+	// scratch so choice points stay allocation-free.
+	chooser   Chooser
+	candBuf   []*event
+	choiceBuf []Choice
 }
 
 type panicValue struct {
@@ -128,6 +134,123 @@ func (e *Engine) AtSink(t Time, s Sink, op uint32, p0, p1 uint64) {
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return e.q.size }
 
+// Choice kinds: what sort of pending event a candidate descriptor denotes.
+const (
+	// ChoiceFn is a plain callback event (opaque: nothing is known about
+	// what it touches).
+	ChoiceFn uint8 = iota
+	// ChoiceWake resumes a context; Node identifies the processor when the
+	// context set one.
+	ChoiceWake
+	// ChoiceSink is a pooled subsystem event; Node/Key come from the sink's
+	// EventInfo when it implements SinkInfo.
+	ChoiceSink
+)
+
+// Choice describes one candidate event at a choice point. Seq is the
+// engine-assigned scheduling order (stable across identical re-executions,
+// so a chooser can use it as the event's identity); Node is the processor
+// the event belongs to, or -1 when unknown; Key names the resource the
+// event touches (a cache line, a channel pair — sink-defined, meaningful
+// only for ChoiceSink with Node >= 0). Two ChoiceSink candidates on
+// different nodes AND different keys are the ones a partial-order reducer
+// may treat as commuting.
+type Choice struct {
+	Seq  uint64
+	Key  uint64
+	Node int32
+	Kind uint8
+}
+
+// Chooser decides which of several events ready at the same cycle fires
+// first. Choose receives the shared fire time and one descriptor per
+// candidate, in (at, seq) order, and returns the index to fire; the
+// remaining candidates are re-offered (minus any that became stale) at the
+// next choice point. The cands slice is scratch owned by the engine —
+// copy it to retain. Returning an out-of-range index panics.
+type Chooser interface {
+	Choose(now Time, cands []Choice) int
+}
+
+// SinkInfo is optionally implemented by a Sink to describe its pending
+// events to a Chooser: which node an event belongs to and which resource
+// (line, pair — the sink's own key space) it touches. Sinks whose events
+// have global effects should report node -1, which marks the event opaque
+// — never treated as commuting with anything.
+type SinkInfo interface {
+	EventInfo(op uint32, p0, p1 uint64) (node int32, key uint64)
+}
+
+// SetChooser installs (or, with nil, removes) the engine's schedule
+// chooser. With a chooser installed, every dispatch where more than one
+// live event is ready at the minimum pending cycle consults the chooser
+// instead of firing in seq order, and the solo-wake fast path in WaitUntil
+// is disabled so no dispatch can bypass the hook. Installing a chooser
+// changes which schedules run, never which schedules are possible: any
+// pick corresponds to a legal (at, seq)-respecting execution at that
+// cycle. Must not be called while a run is in progress.
+func (e *Engine) SetChooser(c Chooser) { e.chooser = c }
+
+// nextChosen is the chooser-aware analogue of ladder.next: it collects
+// every record in the minimum pending bucket (all share one timestamp),
+// silently discards stale wakes — firing one is a no-op, so offering it as
+// an alternative would only multiply equivalent schedules — and delegates
+// the pick to the chooser when more than one live candidate remains.
+// Stale wakes dropped here do not consume RunLimit budget (they perform no
+// work); otherwise dispatch semantics match the default path exactly.
+func (e *Engine) nextChosen() *event {
+	for {
+		cands := e.q.candidates(e.bound, e.bounded, e.candBuf[:0])
+		e.candBuf = cands
+		if len(cands) == 0 {
+			return nil
+		}
+		live := cands[:0]
+		for _, r := range cands {
+			if c := r.ctx; c != nil && (c.done || c.gen != r.gen) {
+				e.q.take(r)
+				e.q.put(r)
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		r := live[0]
+		if len(live) > 1 {
+			ds := e.choiceBuf[:0]
+			for _, c := range live {
+				ds = append(ds, e.describe(c))
+			}
+			e.choiceBuf = ds
+			i := e.chooser.Choose(live[0].at, ds)
+			if i < 0 || i >= len(live) {
+				panic(fmt.Sprintf("sim: chooser picked index %d of %d candidates", i, len(live)))
+			}
+			r = live[i]
+		}
+		e.q.take(r)
+		return r
+	}
+}
+
+// describe builds the Choice descriptor for one pending record.
+func (e *Engine) describe(r *event) Choice {
+	switch {
+	case r.ctx != nil:
+		return Choice{Seq: r.seq, Kind: ChoiceWake, Node: r.ctx.Node}
+	case r.sink != nil:
+		if si, ok := r.sink.(SinkInfo); ok {
+			node, key := si.EventInfo(r.op, r.p0, r.gen)
+			return Choice{Seq: r.seq, Kind: ChoiceSink, Node: node, Key: key}
+		}
+		return Choice{Seq: r.seq, Kind: ChoiceSink, Node: -1}
+	default:
+		return Choice{Seq: r.seq, Kind: ChoiceFn, Node: -1}
+	}
+}
+
 // Halt stops the run loop after the current event completes. Used by drivers
 // that reached their measurement and do not care about draining the queue.
 func (e *Engine) Halt() { e.halted = true }
@@ -159,7 +282,12 @@ func (e *Engine) advance(self *Context) batonStatus {
 		if e.halted || (e.budgeted && e.budget == 0) {
 			return batonStop
 		}
-		r := e.q.next(e.bound, e.bounded)
+		var r *event
+		if e.chooser != nil {
+			r = e.nextChosen()
+		} else {
+			r = e.q.next(e.bound, e.bounded)
+		}
 		if r == nil {
 			return batonStop
 		}

@@ -177,6 +177,76 @@ func (l *ladder) next(bound Time, bounded bool) *event {
 	}
 }
 
+// candidates advances the cursor exactly as next would — eager overflow
+// migration, far-future jump, bound clamping — and appends the whole FIFO
+// chain of the minimum pending bucket to buf without dequeuing anything.
+// Because the ring maps each in-window cycle to exactly one bucket, every
+// record returned shares the minimum pending timestamp: these are all the
+// events legally able to fire next, in seq order. Returns buf unchanged
+// when the queue is empty or (bounded) the minimum fires after bound.
+// Pair with take to remove the chosen record.
+func (l *ladder) candidates(bound Time, bounded bool, buf []*event) []*event {
+	if l.size == 0 {
+		return buf
+	}
+	for {
+		for len(l.ovf) > 0 && l.ovf[0].at < l.base+ladderWindow {
+			l.pushNear(l.ovfPop())
+		}
+		if l.near == 0 {
+			t := l.ovf[0].at
+			if bounded && t > bound {
+				return buf
+			}
+			l.base = t
+			continue
+		}
+		at := l.base + Time(l.nextOccupied())
+		if bounded && at > bound {
+			// Clamp, don't jump — same reasoning as next.
+			if bound > l.base {
+				l.base = bound
+			}
+			return buf
+		}
+		l.base = at
+		for r := l.buckets[int(at&ladderMask)].head; r != nil; r = r.next {
+			buf = append(buf, r)
+		}
+		return buf
+	}
+}
+
+// take removes r — a record of the current minimum bucket, as returned by
+// candidates — from the queue. Unlinking preserves the bucket's FIFO order,
+// so the records left behind still fire in seq order.
+func (l *ladder) take(r *event) {
+	idx := int(r.at & ladderMask)
+	b := &l.buckets[idx]
+	var prev *event
+	for e := b.head; e != nil; prev, e = e, e.next {
+		if e != r {
+			continue
+		}
+		if prev == nil {
+			b.head = e.next
+		} else {
+			prev.next = e.next
+		}
+		if b.tail == e {
+			b.tail = prev
+		}
+		if b.head == nil {
+			l.occ[idx>>6] &^= 1 << (idx & 63)
+		}
+		r.next = nil
+		l.near--
+		l.size--
+		return
+	}
+	panic("sim: take of a record not in the cursor bucket")
+}
+
 // peek returns the record next would dequeue — the minimum pending (at, seq)
 // — without removing it, or nil when the queue is empty. Eligible overflow
 // records migrate to the near tier first (the same eager drain push and next

@@ -11,7 +11,7 @@ func BenchmarkSeed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(1)
 		cfg.Ops = 300
-		res := Run(cfg)
+		res := mustRun(b, cfg)
 		if res.Failed() {
 			b.Fatal(res.Report())
 		}

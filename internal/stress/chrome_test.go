@@ -19,7 +19,7 @@ func TestChromeJSONByteIdentical(t *testing.T) {
 	cfg.Capture = true
 
 	export := func() []byte {
-		res := Execute(cfg, Generate(cfg))
+		res := mustExecute(t, cfg, Generate(cfg))
 		if res.Failed() {
 			t.Fatalf("clean run failed: %v", res.Violations)
 		}

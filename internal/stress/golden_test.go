@@ -76,7 +76,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	for _, seed := range goldenSeeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed_%#x", seed), func(t *testing.T) {
-			res := Run(goldenConfig(seed))
+			res := mustRun(t, goldenConfig(seed))
 			if res.Failed() {
 				t.Fatalf("stress run failed:\n%s", res.Report())
 			}
@@ -116,8 +116,8 @@ func clip(s string) string {
 // process must be identical (no hidden global state), otherwise a golden
 // mismatch could be simulator nondeterminism rather than a behavior change.
 func TestGoldenRerunStable(t *testing.T) {
-	a := Run(goldenConfig(goldenSeeds[0]))
-	b := Run(goldenConfig(goldenSeeds[0]))
+	a := mustRun(t, goldenConfig(goldenSeeds[0]))
+	b := mustRun(t, goldenConfig(goldenSeeds[0]))
 	if render(a) != render(b) {
 		t.Fatal("same-seed reruns diverged: simulator is nondeterministic")
 	}

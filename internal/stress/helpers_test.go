@@ -1,0 +1,32 @@
+package stress
+
+import "testing"
+
+// mustRun / mustExecute / mustShrink unwrap the config-validation error for
+// tests whose configs are valid by construction.
+func mustRun(tb testing.TB, cfg Config) Result {
+	tb.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		tb.Fatalf("Run(%+v): %v", cfg, err)
+	}
+	return res
+}
+
+func mustExecute(tb testing.TB, cfg Config, prog [][]Op) Result {
+	tb.Helper()
+	res, err := Execute(cfg, prog)
+	if err != nil {
+		tb.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+func mustShrink(tb testing.TB, cfg Config, prog [][]Op, budget int) ([][]Op, Result) {
+	tb.Helper()
+	out, res, err := Shrink(cfg, prog, budget)
+	if err != nil {
+		tb.Fatalf("Shrink: %v", err)
+	}
+	return out, res
+}

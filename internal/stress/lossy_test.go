@@ -48,7 +48,7 @@ func TestLossFromSeedPureAndDecorrelated(t *testing.T) {
 // SC, quiescence (memory and reliability), counter totals.
 func TestLossyCleanRuns(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
-		res := Run(lossyConfig(seed))
+		res := mustRun(t, lossyConfig(seed))
 		if res.Failed() {
 			t.Fatalf("seed %d under loss: %v", seed, res.Violations)
 		}
@@ -67,7 +67,7 @@ func TestLossyCleanRuns(t *testing.T) {
 // Chrome export fingerprint (whose event stream includes the new
 // retransmit/dup-drop kinds), byte-identical across processes.
 func TestLossyGoldenDeterminism(t *testing.T) {
-	res := Run(lossyConfig(0x1))
+	res := mustRun(t, lossyConfig(0x1))
 	if res.Failed() {
 		t.Fatalf("lossy run failed:\n%s", res.Report())
 	}
@@ -103,7 +103,7 @@ func TestLossyGoldenDeterminism(t *testing.T) {
 // fault injection and recovery add no hidden state or iteration-order
 // dependence. make test runs this under -race.
 func TestLossyRerunStable(t *testing.T) {
-	a, b := Run(lossyConfig(0x2a)), Run(lossyConfig(0x2a))
+	a, b := mustRun(t, lossyConfig(0x2a)), mustRun(t, lossyConfig(0x2a))
 	if render(a) != render(b) {
 		t.Fatal("same-seed lossy reruns diverged: fault injection is nondeterministic")
 	}
@@ -139,7 +139,7 @@ func TestReliabilityMutationsCaught(t *testing.T) {
 			cfg := small(1)
 			cfg.NetFault = tc.net
 			cfg.RelFault = tc.rel
-			res := Run(cfg)
+			res := mustRun(t, cfg)
 			if !res.Failed() {
 				t.Fatal("broken reliability sublayer not caught")
 			}
@@ -168,7 +168,7 @@ func TestShrinkPreservesNetFaultSchedule(t *testing.T) {
 	cfg.NetFault = LossFromSeed(cfg.Seed)
 	cfg.RelFault = &cmmu.RelFault{NoRetransmit: true} // loss with broken recovery
 	full := Generate(cfg)
-	prog, res := Shrink(cfg, full, 60)
+	prog, res := mustShrink(t, cfg, full, 60)
 	if !res.Failed() {
 		t.Fatal("shrunk program no longer fails")
 	}
@@ -178,7 +178,7 @@ func TestShrinkPreservesNetFaultSchedule(t *testing.T) {
 	// Replaying the shrunk program under the same config reproduces the
 	// identical first violation at the identical cycle: the net-fault
 	// schedule was preserved, not resampled.
-	re := Execute(cfg, prog)
+	re := mustExecute(t, cfg, prog)
 	if !re.Failed() || re.FirstAt != res.FirstAt || re.Violations[0] != res.Violations[0] {
 		t.Fatalf("shrunk repro drifted:\n was %d: %v\n now %d: %v",
 			res.FirstAt, res.Violations, re.FirstAt, re.Violations)

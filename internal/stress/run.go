@@ -70,10 +70,14 @@ func (r *Result) Report() string {
 	return b.String()
 }
 
-// Run generates and executes one seeded stress program.
-func Run(cfg Config) Result {
+// Run generates and executes one seeded stress program. A malformed config
+// (see Config.Validate) is an error, not a run.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	cfg.fill()
-	return Execute(cfg, Generate(cfg))
+	return execute(cfg, Generate(cfg)), nil
 }
 
 // layout is the run's address plan.
@@ -93,12 +97,23 @@ func (l *layout) slot(dst, src int) mem.Addr {
 }
 
 // Execute runs a specific program (possibly shrunk) under the full oracle
-// set and returns what happened.
-func Execute(cfg Config, prog [][]Op) Result {
+// set and returns what happened. Like Run, it rejects malformed configs.
+func Execute(cfg Config, prog [][]Op) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	cfg.fill()
+	return execute(cfg, prog), nil
+}
+
+// execute is the validated, default-filled core of Run/Execute.
+func execute(cfg Config, prog [][]Op) Result {
 	res := Result{Seed: cfg.Seed, Nodes: cfg.Nodes}
 
 	mcfg := machine.DefaultConfig(cfg.Nodes)
+	if cfg.Ideal {
+		mcfg.Topology = machine.TopoIdeal
+	}
 	mcfg.WordsPerNode = 1 << 12
 	mcfg.CacheSets = 4 // direct-mapped 4-line cache: constant evictions
 	mcfg.CacheWays = 1
@@ -253,6 +268,10 @@ func Execute(cfg Config, prog [][]Op) Result {
 			}
 			p.Flush()
 		})
+	}
+
+	if cfg.Hook != nil {
+		cfg.Hook(m)
 	}
 
 	// Drive the run; protocol panics (a broken mutation tripping a sanity

@@ -5,23 +5,27 @@ package stress
 // granularity) and keeps any candidate that still fails. Execution is
 // deterministic, so the result is too. It returns the smallest failing
 // program found and its Result; budget caps the number of re-executions
-// (<=0 picks a default). The input program must fail under cfg.
-func Shrink(cfg Config, prog [][]Op, budget int) ([][]Op, Result) {
+// (<=0 picks a default). The input program must fail under cfg. A
+// malformed config is an error, as in Run.
+func Shrink(cfg Config, prog [][]Op, budget int) ([][]Op, Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Result{}, err
+	}
 	cfg.fill()
 	if budget <= 0 {
 		budget = 200
 	}
 	best := prog
-	bestRes := Execute(cfg, best)
+	bestRes := execute(cfg, best)
 	if !bestRes.Failed() {
-		return best, bestRes
+		return best, bestRes, nil
 	}
 	try := func(cand [][]Op) bool {
 		if budget <= 0 {
 			return false
 		}
 		budget--
-		r := Execute(cfg, cand)
+		r := execute(cfg, cand)
 		if r.Failed() {
 			best, bestRes = cand, r
 			return true
@@ -54,7 +58,7 @@ func Shrink(cfg Config, prog [][]Op, budget int) ([][]Op, Result) {
 			}
 		}
 	}
-	return best, bestRes
+	return best, bestRes, nil
 }
 
 func maxOps(prog [][]Op) int {

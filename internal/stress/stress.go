@@ -19,9 +19,11 @@
 package stress
 
 import (
+	"fmt"
 	"math/rand"
 
 	"alewife/internal/cmmu"
+	"alewife/internal/machine"
 	"alewife/internal/mem"
 	"alewife/internal/mesh"
 )
@@ -74,6 +76,26 @@ type Config struct {
 	// TraceCap sizes the event ring kept for failure reports.
 	TraceCap int
 
+	// Mix overrides the generator's op-kind weights: one non-negative
+	// integer per OpKind, in kind order (OpRead..OpCompute). nil keeps the
+	// built-in adversarial mix. Malformed mixes (wrong length, negative
+	// weight, all-zero) are rejected by Validate with a descriptive error —
+	// never silently renormalized — because a misweighted mix quietly
+	// changes what a seed reproduces.
+	Mix []int
+
+	// Ideal runs the program over the contention-free constant-latency
+	// network instead of the mesh. The schedule explorer sets it: link
+	// contention makes every pair of in-flight packets order-dependent,
+	// which partial-order reduction must not have to reason about.
+	Ideal bool
+
+	// Hook, when non-nil, is called with the fully-built machine — oracles
+	// attached, programs spawned — immediately before the run starts. The
+	// schedule explorer installs its sim.Chooser here; tests use it to
+	// observe machine state mid-run.
+	Hook func(*machine.Machine)
+
 	// MemFault and CMMUFault inject deliberate protocol mutations; used by
 	// the checker regression tests (nil for real fuzzing).
 	MemFault  *mem.Fault
@@ -108,6 +130,73 @@ func DefaultConfig(seed uint64) Config {
 		Seed:     seed,
 		TraceCap: 256,
 	}
+}
+
+// defaultMix is the built-in adversarial op distribution (percent weights,
+// one per OpKind in kind order). It reproduces the generator's original
+// hardcoded thresholds exactly: with Mix nil, every seed generates the
+// byte-identical program it always has (the determinism goldens pin this).
+var defaultMix = [int(opKinds)]int{28, 24, 8, 8, 10, 6, 6, 3, 7}
+
+// Validate rejects configurations whose intent is ambiguous, with an error
+// saying what to fix — the alternative (silently renormalizing a malformed
+// mix, or silently deriving a fault schedule from nothing) makes a repro
+// line mean something other than what the user wrote. The zero-default
+// size fields (Nodes, Ops, ... == 0 means "pick the default") stay legal;
+// negative values are always mistakes. Run, Execute and Shrink call this;
+// it is exported so CLIs can fail fast before generating programs.
+func (cfg *Config) Validate() error {
+	if cfg.Nodes < 0 || cfg.Ops < 0 || cfg.Lines < 0 || cfg.TraceCap < 0 {
+		return fmt.Errorf("stress: negative size (nodes=%d ops=%d lines=%d tracecap=%d): zero means default, negatives are mistakes",
+			cfg.Nodes, cfg.Ops, cfg.Lines, cfg.TraceCap)
+	}
+	if err := cfg.validateMix(); err != nil {
+		return err
+	}
+	if cfg.NetFault != nil && cfg.NetFault.Seed == 0 && cfg.NetFault.Chooser == nil && cfg.Seed == 0 {
+		return fmt.Errorf("stress: NetFault.Seed and Config.Seed are both zero, leaving nothing to derive the fault schedule from; set one explicitly (LossFromSeed always does)")
+	}
+	return nil
+}
+
+func (cfg *Config) validateMix() error {
+	if cfg.Mix == nil {
+		return nil
+	}
+	if len(cfg.Mix) != int(opKinds) {
+		return fmt.Errorf("stress: op mix has %d weights, want %d (one per kind %s..%s)",
+			len(cfg.Mix), int(opKinds), OpKind(0), opKinds-1)
+	}
+	total := 0
+	for k, w := range cfg.Mix {
+		if w < 0 {
+			return fmt.Errorf("stress: op mix weight for %s is %d; weights must be non-negative", OpKind(k), w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return fmt.Errorf("stress: op mix weights sum to zero; at least one kind needs positive weight")
+	}
+	return nil
+}
+
+// mix returns the effective weight table and its total. Callers reach it
+// through Run/Execute/Shrink, which have already validated; Generate is
+// exported and pure, so a malformed mix arriving there is a programming
+// error and panics with the same description Validate returns.
+func (cfg *Config) mix() ([]int, int) {
+	if err := cfg.validateMix(); err != nil {
+		panic(err)
+	}
+	w := defaultMix[:]
+	if cfg.Mix != nil {
+		w = cfg.Mix
+	}
+	total := 0
+	for _, v := range w {
+		total += v
+	}
+	return w, total
 }
 
 func (cfg *Config) fill() {
@@ -170,19 +259,20 @@ func splitmix64(x uint64) uint64 {
 // independent of any simulation state (the replay guarantee rests on this).
 func Generate(cfg Config) [][]Op {
 	cfg.fill()
+	weights, total := cfg.mix()
 	prog := make([][]Op, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
 		rng := rand.New(rand.NewSource(int64(splitmix64(cfg.Seed ^ uint64(n)*0x9e3779b97f4a7c15 ^ 0xa5a5))))
 		ops := make([]Op, cfg.Ops)
 		for i := range ops {
-			ops[i] = genOp(cfg, n, rng)
+			ops[i] = genOp(cfg, weights, total, n, rng)
 		}
 		prog[n] = ops
 	}
 	return prog
 }
 
-func genOp(cfg Config, node int, rng *rand.Rand) Op {
+func genOp(cfg Config, weights []int, total int, node int, rng *rand.Rand) Op {
 	words := cfg.Lines * mem.LineWords
 	peer := func() int {
 		if cfg.Nodes == 1 {
@@ -203,22 +293,31 @@ func genOp(cfg Config, node int, rng *rand.Rand) Op {
 		}
 		return rng.Intn(words)
 	}
-	switch w := rng.Intn(100); {
-	case w < 28:
+	// One draw over the cumulative weight table; with the default mix this
+	// consumes rng identically to the original hardcoded Intn(100) ladder,
+	// so existing seeds generate byte-identical programs.
+	w := rng.Intn(total)
+	k := OpKind(0)
+	for w >= weights[k] {
+		w -= weights[k]
+		k++
+	}
+	switch k {
+	case OpRead:
 		return Op{Kind: OpRead, Loc: hotWord()}
-	case w < 52:
+	case OpWrite:
 		return Op{Kind: OpWrite, Loc: hotWord()}
-	case w < 60:
+	case OpFetchAdd:
 		return Op{Kind: OpFetchAdd, Loc: rng.Intn(cfg.counters())}
-	case w < 68:
+	case OpPrefetch:
 		return Op{Kind: OpPrefetch, Loc: hotWord(), Arg: uint64(rng.Intn(2))}
-	case w < 78:
+	case OpSend:
 		return Op{Kind: OpSend, Dst: peer()}
-	case w < 84:
+	case OpDMA:
 		return Op{Kind: OpDMA, Dst: peer(), Loc: rng.Intn(cfg.Lines)}
-	case w < 90:
+	case OpReadMail:
 		return Op{Kind: OpReadMail, Dst: rng.Intn(cfg.Nodes)}
-	case w < 93:
+	case OpMask:
 		return Op{Kind: OpMask, Arg: uint64(10 + rng.Intn(200))}
 	default:
 		return Op{Kind: OpCompute, Arg: uint64(1 + rng.Intn(100))}

@@ -38,7 +38,7 @@ func TestGenerateNodesDecorrelated(t *testing.T) {
 
 func TestCleanRunsHaveNoViolations(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
-		res := Run(small(seed))
+		res := mustRun(t, small(seed))
 		if res.Failed() {
 			t.Fatalf("seed %d: unexpected violations: %v", seed, res.Violations)
 		}
@@ -49,8 +49,8 @@ func TestCleanRunsHaveNoViolations(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a := Run(small(11))
-	b := Run(small(11))
+	a := mustRun(t, small(11))
+	b := mustRun(t, small(11))
 	if a.Cycles != b.Cycles || a.TotalOps != b.TotalOps {
 		t.Fatalf("identical seeds diverged: (%d cycles, %d ops) vs (%d cycles, %d ops)",
 			a.Cycles, a.TotalOps, b.Cycles, b.TotalOps)
@@ -80,7 +80,7 @@ func TestMutationsCaught(t *testing.T) {
 			cfg := small(1)
 			cfg.MemFault = tc.mem
 			cfg.CMMUFault = tc.cmmu
-			res := Run(cfg)
+			res := mustRun(t, cfg)
 			if !res.Failed() {
 				t.Fatal("broken protocol not caught")
 			}
@@ -107,8 +107,8 @@ func TestMutationsCaught(t *testing.T) {
 func TestFailureReplaysExactly(t *testing.T) {
 	cfg := small(1)
 	cfg.MemFault = &mem.Fault{DropInval: true}
-	a := Execute(cfg, Generate(cfg))
-	b := Execute(cfg, Generate(cfg))
+	a := mustExecute(t, cfg, Generate(cfg))
+	b := mustExecute(t, cfg, Generate(cfg))
 	if !a.Failed() || !b.Failed() {
 		t.Fatal("fault not caught")
 	}
@@ -130,7 +130,7 @@ func TestShrinkConverges(t *testing.T) {
 	cfg := small(1)
 	cfg.MemFault = &mem.Fault{DropInval: true}
 	full := Generate(cfg)
-	prog, res := Shrink(cfg, full, 120)
+	prog, res := mustShrink(t, cfg, full, 120)
 	if !res.Failed() {
 		t.Fatal("shrunk program no longer fails")
 	}
@@ -140,7 +140,7 @@ func TestShrinkConverges(t *testing.T) {
 	}
 	t.Logf("shrunk %d -> %d ops; still fails with: %s", before, after, res.Violations[0])
 	// Shrinking is deterministic too.
-	prog2, _ := Shrink(cfg, full, 120)
+	prog2, _ := mustShrink(t, cfg, full, 120)
 	if !reflect.DeepEqual(prog, prog2) {
 		t.Fatal("shrink is nondeterministic")
 	}
@@ -193,7 +193,7 @@ func TestCheckHistory(t *testing.T) {
 func TestLivelockBudget(t *testing.T) {
 	cfg := small(2)
 	cfg.MaxEvents = 50 // absurdly tight: must trip the budget, not hang
-	res := Run(cfg)
+	res := mustRun(t, cfg)
 	if !res.Failed() {
 		t.Fatal("budget exhaustion not reported")
 	}

@@ -1,0 +1,150 @@
+package stress
+
+import (
+	"strings"
+	"testing"
+
+	"alewife/internal/machine"
+	"alewife/internal/mesh"
+)
+
+// The rejection paths: malformed configs must come back as descriptive
+// errors from Run/Execute/Shrink, never be silently renormalized (a mix
+// that quietly re-weights makes `-seed` repro lines lie) and never panic.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring of the error
+	}{
+		{"negative-nodes", func(c *Config) { c.Nodes = -1 }, "negative size"},
+		{"negative-ops", func(c *Config) { c.Ops = -5 }, "negative size"},
+		{"negative-tracecap", func(c *Config) { c.TraceCap = -1 }, "negative size"},
+		{"mix-short", func(c *Config) { c.Mix = []int{1, 2, 3} }, "3 weights, want 9"},
+		{"mix-long", func(c *Config) { c.Mix = make([]int, 12) }, "12 weights, want 9"},
+		{"mix-negative", func(c *Config) { c.Mix = []int{28, -24, 8, 8, 10, 6, 6, 3, 7} }, "must be non-negative"},
+		{"mix-zero-sum", func(c *Config) { c.Mix = make([]int, 9) }, "sum to zero"},
+		{"fault-no-entropy", func(c *Config) {
+			c.Seed = 0
+			c.NetFault = &mesh.NetFault{Drop: 0.01}
+		}, "both zero"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(7)
+			cfg.Ops = 10
+			tc.mut(&cfg)
+			if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Run: error %v, want substring %q", err, tc.want)
+			}
+			if _, err := Execute(cfg, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Execute: error %v, want substring %q", err, tc.want)
+			}
+			if _, _, err := Shrink(cfg, nil, 1); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Shrink: error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The ambiguity rule is narrow: a fault schedule is derivable whenever any
+// seed (or a chooser) provides entropy, and those configs must stay legal.
+func TestValidateFaultEntropyAccepted(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"run-seed", func(c *Config) { c.Seed = 1 }},
+		{"net-seed", func(c *Config) { c.NetFault.Seed = 1 }},
+		{"chooser", func(c *Config) { c.NetFault.Chooser = deliverAll{} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(0)
+			cfg.NetFault = &mesh.NetFault{Drop: 0.01}
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("Validate: %v, want nil", err)
+			}
+		})
+	}
+}
+
+type deliverAll struct{}
+
+func (deliverAll) ChooseFault(src, dst int, n uint64) (int, uint64) { return mesh.FaultNone, 0 }
+
+// A nil Mix and the explicit default weights must generate byte-identical
+// programs: Mix is an override, not a parallel code path.
+func TestDefaultMixEquivalence(t *testing.T) {
+	cfg := DefaultConfig(0x2a)
+	cfg.Ops = 300
+	base := Generate(cfg)
+	cfg.Mix = defaultMix[:]
+	if withMix := Generate(cfg); !progEqual(base, withMix) {
+		t.Fatal("explicit default mix generated a different program than nil Mix")
+	}
+}
+
+// A custom mix must actually steer generation: all weight on one kind
+// yields only that kind, and zero-weight kinds never appear.
+func TestCustomMixSteersGeneration(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Ops = 200
+	cfg.Mix = []int{0, 0, 0, 0, 0, 0, 0, 0, 1} // compute only
+	for n, ops := range Generate(cfg) {
+		for i, op := range ops {
+			if op.Kind != OpCompute {
+				t.Fatalf("node %d op %d: kind %s, want compute only", n, i, op.Kind)
+			}
+		}
+	}
+	// And a mixed weighting with zero reads produces no reads but does
+	// produce the weighted kinds.
+	cfg.Mix = []int{0, 50, 0, 0, 0, 0, 0, 0, 50}
+	seen := map[OpKind]int{}
+	for _, ops := range Generate(cfg) {
+		for _, op := range ops {
+			seen[op.Kind]++
+		}
+	}
+	if seen[OpRead] != 0 {
+		t.Errorf("zero-weighted reads still generated (%d)", seen[OpRead])
+	}
+	if seen[OpWrite] == 0 || seen[OpCompute] == 0 {
+		t.Errorf("weighted kinds missing: %v", seen)
+	}
+}
+
+func progEqual(a, b [][]Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// A weighted run over the ideal network with a hook installed must still
+// pass every oracle — this is the configuration surface the explorer uses.
+func TestIdealTopologyRun(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Ops = 150
+	cfg.Ideal = true
+	hooked := false
+	cfg.Hook = func(m *machine.Machine) { hooked = true }
+	res := mustRun(t, cfg)
+	if res.Failed() {
+		t.Fatalf("ideal-topology run failed:\n%s", res.Report())
+	}
+	if !hooked {
+		t.Fatal("Hook never called")
+	}
+}
