@@ -1,6 +1,10 @@
 # Tier-1 verification: what CI (and the roadmap) gate on.
 #
-#   make check     build, vet, full test suite under the race detector,
+#   make check     build, vet, lint (the alewife-lint analyzer suite as
+#                  a go vet vettool: determinism, engine confinement,
+#                  pool discipline, hot-path allocs, counter registry,
+#                  nil-receiver guards — zero findings, no baseline),
+#                  full test suite under the race detector,
 #                  then protocol stress smokes (8 seeds, 2000 ops/node,
 #                  live invariants + per-location SC history checking) on
 #                  both perfect and lossy wires (seeded drop/dup/reorder
@@ -29,15 +33,23 @@ GO ?= go
 
 COVER_FLOOR ?= 60
 
-.PHONY: check build vet test cover stress-smoke stress-smoke-lossy explore-smoke stress bench perf perf-check perf-quick
+.PHONY: check build vet lint test cover stress-smoke stress-smoke-lossy explore-smoke stress bench perf perf-check perf-quick
 
-check: build vet test cover stress-smoke stress-smoke-lossy explore-smoke perf-check
+check: build vet lint test cover stress-smoke stress-smoke-lossy explore-smoke perf-check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The project's own analyzer suite (cmd/alewife-lint), run through go
+# vet's vettool protocol so the build cache keeps it incremental. Strict:
+# there is no baseline file; exceptions live in the source as
+# //alewife:allow comments with reasons.
+lint:
+	$(GO) build -o bin/alewife-lint ./cmd/alewife-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/alewife-lint ./...
 
 test:
 	$(GO) test -race ./...

@@ -1,0 +1,34 @@
+package analysistest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"alewife/internal/analysis"
+)
+
+// The harness is mostly exercised from internal/analysis's per-analyzer
+// tests; this drives it in-package so coverage is attributed here too,
+// over a module whose wants include both match and clean declarations.
+func TestRunMatchesWants(t *testing.T) {
+	Run(t, filepath.Join("..", "testdata", "nilrecv"), analysis.NilRecv)
+}
+
+func TestExplicitPatterns(t *testing.T) {
+	Run(t, filepath.Join("..", "testdata", "nilrecv"), analysis.NilRecv, "./nb")
+}
+
+func TestWantOperandForms(t *testing.T) {
+	// Both quoting forms a want comment may use, including an escaped
+	// double quote and a backquoted operand containing a double quote.
+	cases := map[string][]string{
+		"// want `exported method` \"with \\\"quotes\\\"\"": {"exported method", `with "quotes"`},
+		"// want `has a \" inside`":                         {`has a " inside`},
+	}
+	for input, want := range cases {
+		got := quotedRe.FindAllString(input, -1)
+		if len(got) != len(want) {
+			t.Errorf("%s: extracted %d operands %q, want %d", input, len(got), got, len(want))
+		}
+	}
+}

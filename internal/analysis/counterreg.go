@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path"
+	"regexp"
+	"strings"
+)
+
+// CounterReg polices the stats/trace name registries. Counter names are
+// stringly typed by design (the stats.Set map), so the compiler cannot
+// catch a typo'd or duplicate name — a misspelled counter silently splits
+// one statistic into two. Three sub-rules:
+//
+//   - every package-level string constant in the stats package (the
+//     registry) must match the pkg.noun_verb scheme;
+//   - no counter value may be registered twice;
+//   - call sites of the stats Set/Machine counter methods must pass a
+//     registry constant, never a string literal — literals bypass the
+//     registry and are exactly how split counters happen.
+//
+// The trace package's kindNames table gets the same treatment: entries
+// must be unique and kebab-case, since they name golden-visible rows.
+var CounterReg = &Analyzer{
+	Name: "counterreg",
+	Doc:  "counter names: registered once in internal/stats, pkg.noun_verb scheme, no literals at call sites",
+	Run:  runCounterReg,
+}
+
+var (
+	counterSchemeRe = regexp.MustCompile(`^[a-z][a-z0-9]*\.[a-z][a-z0-9_]*$`)
+	kindNameRe      = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+)
+
+func runCounterReg(pass *Pass) error {
+	base := path.Base(pass.PkgPath)
+	if base == "stats" {
+		checkRegistry(pass)
+	}
+	if base == "trace" {
+		checkKindNames(pass)
+	}
+	checkCounterCallSites(pass)
+	return nil
+}
+
+// checkRegistry validates the stats package's own constant block.
+func checkRegistry(pass *Pass) {
+	first := make(map[string]string) // value -> first constant name
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "const" {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					if !counterSchemeRe.MatchString(val) {
+						pass.Reportf(name.Pos(), "counter %s = %q does not match the pkg.noun_verb scheme (lowercase, one dot, snake_case suffix)", name.Name, val)
+					}
+					if prev, dup := first[val]; dup {
+						pass.Reportf(name.Pos(), "counter value %q registered twice (%s and %s): reports would silently merge them", val, prev, name.Name)
+					} else {
+						first[val] = name.Name
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkKindNames validates the trace package's kind-name table.
+func checkKindNames(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "var" {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "kindNames" || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				seen := make(map[string]bool)
+				for _, elt := range cl.Elts {
+					lit, ok := elt.(*ast.BasicLit)
+					if !ok {
+						continue
+					}
+					val := strings.Trim(lit.Value, `"`)
+					if !kindNameRe.MatchString(val) {
+						pass.Reportf(lit.Pos(), "trace kind name %q is not kebab-case", val)
+					}
+					if seen[val] {
+						pass.Reportf(lit.Pos(), "trace kind name %q appears twice in kindNames", val)
+					}
+					seen[val] = true
+				}
+			}
+		}
+	}
+}
+
+// checkCounterCallSites flags counter-method calls whose name argument is
+// a string literal or a constant declared outside the stats registry.
+func checkCounterCallSites(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeFunc(pass.Info, call)
+			if fn == nil || !isStatsCounterMethod(fn) {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			argIdx := -1
+			for i := 0; i < sig.Params().Len(); i++ {
+				if b, ok := sig.Params().At(i).Type().(*types.Basic); ok && b.Kind() == types.String {
+					argIdx = i
+					break
+				}
+			}
+			if argIdx < 0 || argIdx >= len(call.Args) {
+				return true
+			}
+			arg := ast.Unparen(call.Args[argIdx])
+			if lit, ok := arg.(*ast.BasicLit); ok {
+				pass.Reportf(arg.Pos(), "counter name %s passed as a literal: register a constant in internal/stats so the name exists exactly once", lit.Value)
+				return true
+			}
+			// A named constant must come from the registry package itself.
+			var id *ast.Ident
+			switch a := arg.(type) {
+			case *ast.Ident:
+				id = a
+			case *ast.SelectorExpr:
+				id = a.Sel
+			}
+			if id == nil {
+				return true
+			}
+			if c, ok := pass.Info.Uses[id].(*types.Const); ok {
+				if c.Pkg() == nil || path.Base(TrimTestVariant(c.Pkg().Path())) != "stats" {
+					pass.Reportf(arg.Pos(), "counter constant %s is declared outside the internal/stats registry: move it there so every name is registered once", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStatsCounterMethod reports whether fn is Add/Inc/Get on the stats
+// package's Set or Machine.
+func isStatsCounterMethod(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Add", "Inc", "Get":
+	default:
+		return false
+	}
+	pkgPath, sym := Symbol(fn)
+	if path.Base(pkgPath) != "stats" {
+		return false
+	}
+	return strings.HasPrefix(sym, "Set.") || strings.HasPrefix(sym, "Machine.")
+}

@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// EngineConfine enforces the rule that makes the fanout harness sound
+// (DESIGN §8): a sim.Engine — and everything hanging off it: memory
+// controllers, CMMUs, the mesh, the whole machine — is confined to the
+// goroutine that drives it. Worker jobs handed to fanout.Run execute on
+// pool goroutines, so they must build their own engines from their index;
+// calling an engine-only API (annotated //alewife:engine-only) on a value
+// captured from the enclosing scope races that engine against whatever
+// goroutine owns it. The paper's CMMU enforced the analogous property in
+// hardware: the message path could not reach into shared-memory state
+// except through defined transitions.
+//
+// Detection is a call-graph walk. Worker roots are function literals (or
+// named functions) passed to fanout.Run — directly, or through a local
+// helper whose func parameter provably flows into fanout.Run (the parMap
+// pattern). Inside a root, a value is tainted if it is captured from the
+// enclosing scope (or is a package-level variable), or derived from one;
+// calling an engine-only API on a tainted value is reported, including
+// through local helpers, with the path named in the diagnostic.
+var EngineConfine = &Analyzer{
+	Name: "engineconfine",
+	Doc:  "fanout worker closures must not call //alewife:engine-only APIs on captured state",
+	Run:  runEngineConfine,
+}
+
+// confEntry records that calling its function with a tainted value bound
+// to param reaches an engine-only API through chain.
+type confEntry struct {
+	param types.Object
+	sym   string   // display name of the engine-only API
+	chain []string // call path from the function to the API
+}
+
+func runEngineConfine(pass *Pass) error {
+	// Map this package's function objects to their declarations, for the
+	// interprocedural summary walk.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	summaries := buildSummaries(pass, decls)
+	roots := findWorkerRoots(pass, decls)
+	for _, root := range roots {
+		checkWorkerRoot(pass, root, summaries)
+	}
+	return nil
+}
+
+// engineOnly resolves whether a callee is annotated //alewife:engine-only,
+// consulting the module-source annotation index.
+func engineOnly(pass *Pass, fn *types.Func) bool {
+	pkgPath, sym := Symbol(fn)
+	if pkgPath == "" || sym == "" {
+		return false
+	}
+	return pass.Index.EngineOnly(pkgPath, sym)
+}
+
+// displayName renders a callee for diagnostics: pkg.(*Recv).Method.
+func displayName(fn *types.Func) string {
+	pkgPath, sym := Symbol(fn)
+	base := path.Base(pkgPath)
+	if i := strings.IndexByte(sym, '.'); i >= 0 {
+		return base + ".(*" + sym[:i] + ")." + sym[i+1:]
+	}
+	return base + "." + sym
+}
+
+// paramObjects returns the receiver (if any) followed by the parameters of
+// a declaration, as types objects.
+func paramObjects(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// buildSummaries computes, to a fixpoint, which parameters of each local
+// function reach an engine-only call when bound to a tainted value.
+func buildSummaries(pass *Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]confEntry {
+	summaries := make(map[*types.Func][]confEntry)
+	has := func(fn *types.Func, param types.Object, sym string) bool {
+		for _, e := range summaries[fn] {
+			if e.param == param && e.sym == sym {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			params := make(map[types.Object]bool)
+			for _, p := range paramObjects(pass, fd) {
+				params[p] = true
+			}
+			name := fn.Name()
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := CalleeFunc(pass.Info, call)
+				if callee == nil {
+					return true
+				}
+				if engineOnly(pass, callee) {
+					for _, obj := range callRoots(pass, call) {
+						if params[obj] && !has(fn, obj, displayName(callee)) {
+							summaries[fn] = append(summaries[fn], confEntry{param: obj, sym: displayName(callee), chain: []string{name}})
+							changed = true
+						}
+					}
+					return true
+				}
+				sub, ok := summaries[callee]
+				if !ok {
+					return true
+				}
+				for _, obj := range callRoots(pass, call) {
+					if !params[obj] {
+						continue
+					}
+					for _, e := range sub {
+						if boundTo(pass, call, callee, e.param, obj) && !has(fn, obj, e.sym) {
+							summaries[fn] = append(summaries[fn], confEntry{param: obj, sym: e.sym, chain: append([]string{name}, e.chain...)})
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return summaries
+}
+
+// callRoots returns the distinct objects rooting the receiver and each
+// argument of a call.
+func callRoots(pass *Pass, call *ast.CallExpr) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		if id := rootIdent(e); id != nil {
+			if obj := pass.Info.Uses[id]; obj != nil && !seen[obj] {
+				seen[obj] = true
+				out = append(out, obj)
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		add(sel.X)
+	}
+	for _, arg := range call.Args {
+		add(arg)
+	}
+	return out
+}
+
+// boundTo reports whether, at this call site, the value rooted at fromObj
+// is bound to the callee's param object — as the receiver, or as the
+// positional argument matching the parameter.
+func boundTo(pass *Pass, call *ast.CallExpr, callee *types.Func, param, fromObj types.Object) bool {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id := rootIdent(sel.X); id != nil && pass.Info.Uses[id] == fromObj {
+				// The receiver object of the *declaration* differs from
+				// sig.Recv() only in generic instances; match by name.
+				if param.Name() == recvName(callee) {
+					return true
+				}
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if id := rootIdent(arg); id != nil && pass.Info.Uses[id] == fromObj {
+			if sig.Params().At(i).Name() == param.Name() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return sig.Recv().Name()
+}
+
+// workerRoot is one function body that executes on a fanout worker
+// goroutine: a closure literal or a named local function.
+type workerRoot struct {
+	lit  *ast.FuncLit  // exactly one of lit/decl is set
+	decl *ast.FuncDecl // named function passed as a job
+}
+
+// findWorkerRoots locates job functions handed to fanout.Run, directly or
+// through local helpers that forward a func parameter into fanout.Run (or
+// call it inside an already-identified root).
+func findWorkerRoots(pass *Pass, decls map[*types.Func]*ast.FuncDecl) []workerRoot {
+	var roots []workerRoot
+	rootLits := make(map[*ast.FuncLit]bool)
+	rootDecls := make(map[*ast.FuncDecl]bool)
+	workerParams := make(map[types.Object]bool)
+
+	addJobArg := func(arg ast.Expr) bool {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			if !rootLits[a] {
+				rootLits[a] = true
+				roots = append(roots, workerRoot{lit: a})
+				return true
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[a]; obj != nil {
+				if fn, ok := obj.(*types.Func); ok {
+					if fd := decls[fn]; fd != nil && !rootDecls[fd] {
+						rootDecls[fd] = true
+						roots = append(roots, workerRoot{decl: fd})
+						return true
+					}
+				} else if _, isVar := obj.(*types.Var); isVar && !workerParams[obj] {
+					// A func-typed variable or parameter forwarded as the
+					// job: calls through it run on worker goroutines.
+					workerParams[obj] = true
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	isFanoutRun := func(fn *types.Func) bool {
+		if fn == nil || fn.Name() != "Run" || fn.Pkg() == nil {
+			return false
+		}
+		return path.Base(TrimTestVariant(fn.Pkg().Path())) == "fanout"
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := CalleeFunc(pass.Info, call)
+				if isFanoutRun(callee) {
+					for _, arg := range call.Args {
+						tv := pass.Info.Types[arg]
+						if tv.Type == nil {
+							continue
+						}
+						if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc {
+							if addJobArg(arg) {
+								changed = true
+							}
+						}
+					}
+					return true
+				}
+				// A call through an identified worker param: its func
+				// arguments also execute on the worker.
+				if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[fun]; obj != nil && workerParams[obj] {
+						for _, arg := range call.Args {
+							if addJobArg(arg) {
+								changed = true
+							}
+						}
+					}
+				}
+				// A call to a local function forwarding args into worker
+				// params: func literals at those positions are roots.
+				if callee != nil {
+					if fd := decls[callee]; fd != nil {
+						params := paramObjects(pass, fd)
+						// Positional map (receiver first) — job params are
+						// plain parameters, so offset past the receiver.
+						off := 0
+						if fd.Recv != nil {
+							off = len(fd.Recv.List[0].Names)
+						}
+						for i, arg := range call.Args {
+							if i+off >= len(params) {
+								break
+							}
+							if workerParams[params[i+off]] {
+								if addJobArg(arg) {
+									changed = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return roots
+}
+
+// checkWorkerRoot walks one worker body flagging engine-only calls on
+// tainted (captured or package-level) values, directly or through local
+// helper summaries.
+func checkWorkerRoot(pass *Pass, root workerRoot, summaries map[*types.Func][]confEntry) {
+	var body *ast.BlockStmt
+	var lo, hi token.Pos
+	var what string
+	if root.lit != nil {
+		body, lo, hi, what = root.lit.Body, root.lit.Pos(), root.lit.End(), "worker closure"
+	} else {
+		body, lo, hi = root.decl.Body, root.decl.Pos(), root.decl.End()
+		what = "worker function " + root.decl.Name.Name
+	}
+
+	// Tainted: any variable declared outside the root's own text — a
+	// capture from the enclosing scope, or a package-level variable. The
+	// job's own parameters and locals are declared inside [lo,hi].
+	tainted := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok || !v.Pos().IsValid() {
+			return false
+		}
+		return v.Pos() < lo || v.Pos() > hi
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := CalleeFunc(pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		if engineOnly(pass, callee) {
+			for _, obj := range callRoots(pass, call) {
+				if tainted(obj) {
+					pass.Reportf(call.Pos(), "%s calls engine-only %s on %s captured from the enclosing scope: engines are confined to the goroutine that drives them; build per-worker state from the job index instead", what, displayName(callee), obj.Name())
+					return true
+				}
+			}
+			return true
+		}
+		for _, e := range summaries[callee] {
+			for _, obj := range callRoots(pass, call) {
+				if tainted(obj) && boundTo(pass, call, callee, e.param, obj) {
+					pass.Reportf(call.Pos(), "%s passes captured %s into %s, which reaches engine-only %s: engines are confined to the goroutine that drives them; build per-worker state from the job index instead", what, obj.Name(), strings.Join(e.chain, " -> "), e.sym)
+					return true
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (plus their dependency closure) in dir via
+// `go list -export -deps -json`, parses and type-checks every non-dep
+// target package against the dependencies' gc export data, and returns the
+// targets plus a resolver from import path to source directory for the
+// annotation Index. Loading is the standalone driver's and the test
+// harness's front door; the vettool path (cmd/alewife-lint) gets the same
+// inputs from go vet's unitchecker config instead.
+func Load(dir string, patterns ...string) ([]*Package, func(string) string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exportFile := make(map[string]string)
+	pkgDir := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exportFile[lp.ImportPath] = lp.Export
+		}
+		pkgDir[lp.ImportPath] = lp.Dir
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exportFile[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typeCheck(fset, lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	resolve := func(path string) string { return pkgDir[path] }
+	return pkgs, resolve, nil
+}
+
+// typeCheck parses files (rooted at dir when relative) and type-checks them
+// as one package.
+func typeCheck(fset *token.FileSet, path, dir string, files []string, imp types.Importer) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		full := name
+		if !strings.HasPrefix(name, "/") {
+			full = dir + string(os.PathSeparator) + name
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(TrimTestVariant(path), fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: typecheck: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// TypeCheckFiles is the vettool entry point: type-check the given files as
+// package path, resolving imports through importMap (source path ->
+// resolved path, identity when absent) to export-data files.
+func TypeCheckFiles(path string, files []string, importMap map[string]string, packageFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(p string) (string, bool) {
+		if r, ok := importMap[p]; ok {
+			p = r
+		}
+		f, ok := packageFile[p]
+		return f, ok
+	})
+	return typeCheck(fset, path, "", files, imp)
+}
+
+// exportImporter loads dependency type information from gc export data —
+// the files `go list -export` (or go vet's config) names. types.Package
+// values are cached so diamond imports share one instance.
+type exportImporter struct {
+	gc     types.ImporterFrom
+	lookup func(path string) (string, bool)
+	cache  map[string]*types.Package
+}
+
+func newExportImporter(fset *token.FileSet, lookup func(string) (string, bool)) *exportImporter {
+	ei := &exportImporter{lookup: lookup, cache: make(map[string]*types.Package)}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ei.cache[path]; ok {
+		return p, nil
+	}
+	p, err := ei.gc.ImportFrom(path, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	ei.cache[path] = p
+	return p, nil
+}

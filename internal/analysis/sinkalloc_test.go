@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"alewife/internal/analysis"
+	"alewife/internal/analysis/analysistest"
+)
+
+func TestSinkAlloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "sinkalloc"), analysis.SinkAlloc)
+}

@@ -1,0 +1,22 @@
+package caller
+
+import "lint.example/counterreg/stats"
+
+// localName bypasses the registry: the same spelling in two packages is
+// how one statistic silently splits in two.
+const localName = "cache.hits"
+
+func Count(s stats.Set) int64 {
+	s.Add(stats.CacheHits, 2)  // registry constant: the sanctioned form
+	s.Inc(stats.PoolGets)      // registry constant through Inc
+	s.Add("cache.misses", 1)   // want `counter name "cache\.misses" passed as a literal`
+	s.Inc(localName)           // want `counter constant localName is declared outside`
+	return s.Get(stats.CacheHits)
+}
+
+// Add on an unrelated type is not a counter call site.
+type tally struct{ n int64 }
+
+func (t *tally) Add(name string, n int64) { t.n += n }
+
+func Unrelated(t *tally) { t.Add("anything goes", 1) }

@@ -1,0 +1,3 @@
+module lint.example/counterreg
+
+go 1.22

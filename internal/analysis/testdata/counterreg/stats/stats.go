@@ -1,0 +1,24 @@
+// Package stats mirrors the real registry: every counter name is a
+// package-level string constant here, following pkg.noun_verb.
+package stats
+
+const (
+	CacheHits  = "cache.hits"
+	PoolGets   = "pool.gets"
+	BadScheme  = "CacheMisses"  // want `does not match the pkg\.noun_verb scheme`
+	BadDots    = "a.b.c"        // want `does not match the pkg\.noun_verb scheme`
+	DupOfHits  = "cache.hits"   // want `counter value "cache\.hits" registered twice`
+	SchedSteal = "sched.steals"
+)
+
+// Set accumulates counters by registered name.
+type Set map[string]int64
+
+// Add charges n to a counter.
+func (s Set) Add(name string, n int64) { s[name] += n }
+
+// Inc bumps a counter by one.
+func (s Set) Inc(name string) { s.Add(name, 1) }
+
+// Get reads a counter.
+func (s Set) Get(name string) int64 { return s[name] }

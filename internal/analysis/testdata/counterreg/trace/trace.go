@@ -1,0 +1,10 @@
+// Package trace mirrors the real kind-name table: golden-visible row names
+// must be unique kebab-case.
+package trace
+
+var kindNames = [...]string{
+	"miss",
+	"msg-send",
+	"Bad_Name", // want `trace kind name "Bad_Name" is not kebab-case`
+	"miss",     // want `trace kind name "miss" appears twice`
+}

@@ -1,0 +1,3 @@
+module lint.example/determinism
+
+go 1.22

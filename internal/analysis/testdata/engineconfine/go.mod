@@ -1,0 +1,3 @@
+module lint.example/engineconfine
+
+go 1.22

@@ -1,0 +1,24 @@
+// Package sim is a miniature of the real engine: a few annotated
+// engine-only entry points and some unannotated observers.
+package sim
+
+// Engine is confined to the goroutine that drives it.
+type Engine struct {
+	now uint64
+	n   int
+}
+
+// New returns a fresh engine.
+func New() *Engine { return &Engine{} }
+
+// At schedules work.
+//alewife:engine-only
+func (e *Engine) At(t uint64, fn func()) { e.n++ }
+
+// Run drains the event queue.
+//alewife:engine-only
+func (e *Engine) Run() { e.n = 0 }
+
+// Now is an unannotated read: not flagged (the rule covers entry points
+// that mutate engine state, as annotated).
+func (e *Engine) Now() uint64 { return e.now }

@@ -1,0 +1,75 @@
+package use
+
+import (
+	"lint.example/engineconfine/fanout"
+	"lint.example/engineconfine/sim"
+)
+
+// shared is package-level: calling engine-only APIs on it from a worker is
+// just as racy as a local capture.
+var shared = sim.New()
+
+// Captured engine: the closure uses eng from the enclosing scope.
+func Direct() []int {
+	eng := sim.New()
+	eng.Run() // on the driving goroutine: fine
+	return fanout.Run(4, 2, func(i int) int {
+		eng.At(uint64(i), nil) // want `worker closure calls engine-only sim\.\(\*Engine\)\.At on eng`
+		return i
+	})
+}
+
+// drive is a local helper: passing a captured engine into it from a worker
+// reaches engine-only APIs one hop removed.
+func drive(e *sim.Engine, t uint64) {
+	e.At(t, nil)
+}
+
+func ViaHelper() []int {
+	eng := sim.New()
+	return fanout.Run(4, 2, func(i int) int {
+		drive(eng, uint64(i)) // want `passes captured eng into drive, which reaches engine-only sim\.\(\*Engine\)\.At`
+		return i
+	})
+}
+
+// parMap forwards its job into fanout.Run — the bench-package shape. The
+// analyzer must treat parMap's callers' literals as worker roots too.
+func parMap(n int, f func(int) int) []int {
+	return fanout.Run(n, 2, f)
+}
+
+func ViaParMap() []int {
+	eng := sim.New()
+	return parMap(4, func(i int) int {
+		eng.Run() // want `worker closure calls engine-only sim\.\(\*Engine\)\.Run on eng`
+		return i
+	})
+}
+
+func PackageLevel() []int {
+	return fanout.Run(2, 2, func(i int) int {
+		shared.Run() // want `worker closure calls engine-only sim\.\(\*Engine\)\.Run on shared`
+		return i
+	})
+}
+
+// PerWorker is the sanctioned pattern: each job builds its own engine from
+// the job index, touching nothing from the enclosing scope.
+func PerWorker() []int {
+	return fanout.Run(4, 2, func(i int) int {
+		eng := sim.New()
+		eng.At(uint64(i), nil)
+		eng.Run()
+		return int(eng.Now())
+	})
+}
+
+// Reads of unannotated APIs on captured state are not this analyzer's
+// concern (determinism covers spawns; this rule tracks annotated calls).
+func ReadOnly() []int {
+	eng := sim.New()
+	return fanout.Run(2, 2, func(i int) int {
+		return int(eng.Now())
+	})
+}

@@ -1,0 +1,3 @@
+module lint.example/nilrecv
+
+go 1.22

@@ -1,0 +1,44 @@
+package nb
+
+// Buf promises that nil is its disabled state.
+//alewife:nil-safe
+type Buf struct{ n int }
+
+// Len opens with the guard: the sanctioned shape.
+func (b *Buf) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Add guards with a compound condition: still returns on nil.
+func (b *Buf) Add(n int) {
+	if b == nil || n == 0 {
+		return
+	}
+	b.n += n
+}
+
+func (b *Buf) Bad() int { // want `exported method Bad must start with`
+	return b.n
+}
+
+func (b Buf) Value() int { // want `exported method Value has a value receiver`
+	return b.n
+}
+
+func (*Buf) Anon() int { // want `exported method Anon has no named receiver`
+	return 0
+}
+
+// Noop has an empty body: nothing can dereference the receiver.
+func (b *Buf) Noop() {}
+
+// internal methods are the package's own risk.
+func (b *Buf) grow() { b.n *= 2 }
+
+// Plain is unannotated: no guard required.
+type Plain struct{ n int }
+
+func (p *Plain) Len() int { return p.n }

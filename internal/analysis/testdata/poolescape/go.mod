@@ -1,0 +1,3 @@
+module lint.example/poolescape
+
+go 1.22

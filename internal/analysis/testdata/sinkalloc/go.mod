@@ -1,0 +1,3 @@
+module lint.example/sinkalloc
+
+go 1.22

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"alewife/internal/sim"
 	"alewife/internal/stats"
@@ -247,7 +248,15 @@ func (lc *LiveChecker) event(kind trace.Kind, node int, line Addr) {
 // ones; the first error (if any) is returned.
 func (lc *LiveChecker) Quiesce() error {
 	var first error
-	for line, senders := range lc.pendingWB {
+	// Sort the outstanding lines: violation order (and which one becomes the
+	// returned error) must not depend on map iteration order.
+	lines := make([]Addr, 0, len(lc.pendingWB))
+	for line := range lc.pendingWB {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		senders := lc.pendingWB[line]
 		lc.violate(trace.KWriteback, lc.f.Store.Home(line), line,
 			"writeback from %v never arrived (lost writeback)", senders)
 		if first == nil {

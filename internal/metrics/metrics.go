@@ -78,7 +78,9 @@ func (b Bucket) Overlay() bool { return b >= DirPipeline && b < NumBuckets }
 
 // Profiler accumulates per-node bucket counts. It is owned by one machine
 // and therefore by one goroutine; counters are plain integers bumped on
-// the hot path with no allocation.
+// the hot path with no allocation. A nil *Profiler is the disabled state:
+// every method no-ops on it (enforced by the nilrecv analyzer).
+//alewife:nil-safe
 type Profiler struct {
 	counts  [][NumBuckets]uint64
 	elapsed uint64
@@ -94,10 +96,16 @@ func New(n int) *Profiler {
 }
 
 // Nodes returns the node count.
-func (p *Profiler) Nodes() int { return len(p.counts) }
+func (p *Profiler) Nodes() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.counts)
+}
 
 // Add charges cycles to a bucket on a node. Nil-safe so cold call sites
 // can skip the guard; hot paths guard themselves and never reach a nil p.
+//alewife:hotpath
 func (p *Profiler) Add(node int, b Bucket, cycles uint64) {
 	if p == nil || cycles == 0 || b < 0 {
 		return
@@ -106,10 +114,18 @@ func (p *Profiler) Add(node int, b Bucket, cycles uint64) {
 }
 
 // Get returns one counter.
-func (p *Profiler) Get(node int, b Bucket) uint64 { return p.counts[node][b] }
+func (p *Profiler) Get(node int, b Bucket) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.counts[node][b]
+}
 
 // Total sums a bucket across nodes.
 func (p *Profiler) Total(b Bucket) uint64 {
+	if p == nil {
+		return 0
+	}
 	var t uint64
 	for i := range p.counts {
 		t += p.counts[i][b]
@@ -118,13 +134,21 @@ func (p *Profiler) Total(b Bucket) uint64 {
 }
 
 // Elapsed returns the cycle count Finalize was given.
-func (p *Profiler) Elapsed() uint64 { return p.elapsed }
+func (p *Profiler) Elapsed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.elapsed
+}
 
 // Finalize closes the run at the given elapsed cycle count: every node's
 // unclaimed remainder becomes Untracked. A node whose attributed cycles
 // exceed elapsed means some interval was charged twice; that is a bug in
 // the instrumentation, reported as an error and never papered over.
 func (p *Profiler) Finalize(elapsed uint64) error {
+	if p == nil {
+		return nil
+	}
 	if p.final {
 		return fmt.Errorf("metrics: Finalize called twice")
 	}
@@ -147,6 +171,9 @@ func (p *Profiler) Finalize(elapsed uint64) error {
 // CheckInvariant verifies, post-Finalize, that every node's timeline
 // buckets sum exactly to the elapsed cycles.
 func (p *Profiler) CheckInvariant() error {
+	if p == nil {
+		return nil
+	}
 	if !p.final {
 		return fmt.Errorf("metrics: CheckInvariant before Finalize")
 	}
@@ -166,6 +193,9 @@ func (p *Profiler) CheckInvariant() error {
 // (total / (elapsed * nodes)). Overlay shares may legitimately exceed
 // nothing-in-particular; they are occupancy relative to total node time.
 func (p *Profiler) Share(b Bucket) float64 {
+	if p == nil {
+		return 0
+	}
 	if p.elapsed == 0 {
 		return 0
 	}
@@ -176,6 +206,9 @@ func (p *Profiler) Share(b Bucket) float64 {
 // bucket name. The map is for serialization (encoding/json sorts keys);
 // human output should use String, which orders by bucket index.
 func (p *Profiler) Shares() map[string]float64 {
+	if p == nil {
+		return nil
+	}
 	out := make(map[string]float64, NumBuckets)
 	for b := Bucket(0); b < NumBuckets; b++ {
 		if s := p.Share(b); s != 0 {
@@ -188,6 +221,9 @@ func (p *Profiler) Shares() map[string]float64 {
 // String renders the machine-wide breakdown, one bucket per line in
 // bucket order: cycles and share of node-time, overlay buckets marked.
 func (p *Profiler) String() string {
+	if p == nil {
+		return ""
+	}
 	var sb strings.Builder
 	for b := Bucket(0); b < NumBuckets; b++ {
 		t := p.Total(b)
@@ -206,6 +242,9 @@ func (p *Profiler) String() string {
 // NodeString renders one node's timeline breakdown on a single line:
 // "n3: compute 120 (12.0%) ...", skipping zero buckets.
 func (p *Profiler) NodeString(node int) string {
+	if p == nil {
+		return ""
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "n%d:", node)
 	for b := Bucket(0); b < NumTimeline; b++ {
@@ -228,6 +267,9 @@ func (p *Profiler) SortedShares() []struct {
 	Name  string
 	Share float64
 } {
+	if p == nil {
+		return nil
+	}
 	type row struct {
 		b Bucket
 		s float64

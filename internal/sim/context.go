@@ -50,10 +50,12 @@ func (c *Context) Done() bool { return c.done }
 
 // Spawn creates a context whose body starts running at time `at`. The body
 // executes in simulation order; fn returning ends the context.
+//alewife:engine-only
 func (e *Engine) Spawn(name string, at Time, fn func(*Context)) *Context {
 	c := &Context{eng: e, name: name, resume: make(chan struct{}, 1), Node: -1}
 	e.nlive++
 	e.ctxs = append(e.ctxs, c)
+	//alewife:allow determinism context bodies run one-at-a-time under the baton protocol; the spawn is ordered by the resume channel
 	go func() {
 		c.park() // the start event below is an ordinary wake (gen 0)
 		defer func() {

@@ -85,6 +85,7 @@ func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently corrupt causality.
+//alewife:engine-only
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -97,6 +98,7 @@ func (e *Engine) At(t Time, fn func()) {
 
 // atWake schedules a closure-free context wake-up record (the hot path of
 // Block/Unblock; WaitUntil arms its record inline for the solo-wake check).
+//alewife:hotpath
 func (e *Engine) atWake(t Time, c *Context, gen uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling wake at %d before now %d", t, e.now))
@@ -108,6 +110,7 @@ func (e *Engine) atWake(t Time, c *Context, gen uint64) {
 }
 
 // After schedules fn to run d cycles from now.
+//alewife:engine-only
 func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
 
 // Sink receives pooled closure-free events scheduled with AtSink. The
@@ -121,6 +124,7 @@ type Sink interface {
 
 // AtSink schedules s.Fire(op, p0, p1) at absolute time t using a pooled
 // record — the closure-free analogue of At for subsystem hot paths.
+//alewife:engine-only
 func (e *Engine) AtSink(t Time, s Sink, op uint32, p0, p1 uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -189,6 +193,7 @@ type SinkInfo interface {
 // changes which schedules run, never which schedules are possible: any
 // pick corresponds to a legal (at, seq)-respecting execution at that
 // cycle. Must not be called while a run is in progress.
+//alewife:engine-only
 func (e *Engine) SetChooser(c Chooser) { e.chooser = c }
 
 // nextChosen is the chooser-aware analogue of ladder.next: it collects
@@ -253,6 +258,7 @@ func (e *Engine) describe(r *event) Choice {
 
 // Halt stops the run loop after the current event completes. Used by drivers
 // that reached their measurement and do not care about draining the queue.
+//alewife:engine-only
 func (e *Engine) Halt() { e.halted = true }
 
 // batonStatus is the outcome of one advance call: why the dispatch loop on
@@ -343,6 +349,7 @@ func (e *Engine) waitBaton() {
 
 // Run executes events in time order until the queue is empty or Halt is
 // called. It must be called from the goroutine that created the engine.
+//alewife:engine-only
 func (e *Engine) Run() {
 	e.halted = false
 	e.bounded, e.budgeted = false, false
@@ -353,6 +360,7 @@ func (e *Engine) Run() {
 // empty queue or Halt. It reports whether the queue drained: false means the
 // budget was exhausted first — the caller (e.g. the protocol fuzzer, whose
 // broken-protocol mutations can livelock) should treat the run as stuck.
+//alewife:engine-only
 func (e *Engine) RunLimit(max uint64) bool {
 	e.halted = false
 	e.bounded = false
@@ -367,6 +375,7 @@ func (e *Engine) RunLimit(max uint64) bool {
 
 // RunUntil executes events up to and including time t, leaving later events
 // queued. The clock ends at t even if the queue drains earlier.
+//alewife:engine-only
 func (e *Engine) RunUntil(t Time) {
 	e.halted = false
 	e.budgeted = false

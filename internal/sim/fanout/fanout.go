@@ -67,6 +67,7 @@ func Run[T any](n, workers int, job func(i int) T) []T {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//alewife:allow determinism worker pool is the one sanctioned spawn site: jobs share nothing and results land at distinct indices
 		go func() {
 			defer wg.Done()
 			for i := range idx {

@@ -28,6 +28,9 @@ type KindCount struct {
 // the deterministic companion to CountByKind: consumers that print or hash
 // the aggregation should iterate this slice, never the map.
 func (b *Buffer) KindCounts() []KindCount {
+	if b == nil {
+		return nil
+	}
 	var counts [kMax]int
 	for _, e := range b.Events() {
 		if int(e.Kind) < len(counts) {
@@ -52,6 +55,9 @@ type NodeCount struct {
 // NodeCounts aggregates retained events per node, ordered by node id —
 // the deterministic companion to NodeActivity.
 func (b *Buffer) NodeCounts() []NodeCount {
+	if b == nil {
+		return nil
+	}
 	m := b.NodeActivity()
 	nodes := make([]int, 0, len(m))
 	for n := range m {
@@ -87,5 +93,8 @@ func ChromeJSON(w io.Writer, evs []Event) error {
 
 // ChromeJSON exports the retained events, oldest first.
 func (b *Buffer) ChromeJSON(w io.Writer) error {
+	if b == nil {
+		return ChromeJSON(w, nil) // a disabled buffer exports an empty trace
+	}
 	return ChromeJSON(w, b.Events())
 }

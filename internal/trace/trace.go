@@ -56,7 +56,9 @@ type Event struct {
 }
 
 // Buffer is a bounded event ring. The zero value is unusable; call New.
-// A nil *Buffer is a valid no-op sink.
+// A nil *Buffer is a valid no-op sink: every method treats nil as the
+// disabled state (enforced by the nilrecv analyzer).
+//alewife:nil-safe
 type Buffer struct {
 	ring    []Event
 	start   int // index of oldest
@@ -73,6 +75,7 @@ func New(cap int) *Buffer {
 }
 
 // Emit records an event; on a full buffer the oldest is dropped.
+//alewife:hotpath
 func (b *Buffer) Emit(at uint64, node int, kind Kind, arg uint64) {
 	if b == nil {
 		return
@@ -89,13 +92,26 @@ func (b *Buffer) Emit(at uint64, node int, kind Kind, arg uint64) {
 
 // Len reports the number of retained events; Dropped how many were lost to
 // capacity.
-func (b *Buffer) Len() int { return b.n }
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
 
 // Dropped reports how many events were evicted from the ring.
-func (b *Buffer) Dropped() int { return b.dropped }
+func (b *Buffer) Dropped() int {
+	if b == nil {
+		return 0
+	}
+	return b.dropped
+}
 
 // Events returns the retained events, oldest first.
 func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
 	out := make([]Event, b.n)
 	for i := 0; i < b.n; i++ {
 		out[i] = b.ring[(b.start+i)%len(b.ring)]
@@ -105,11 +121,17 @@ func (b *Buffer) Events() []Event {
 
 // Reset empties the buffer.
 func (b *Buffer) Reset() {
+	if b == nil {
+		return
+	}
 	b.start, b.n, b.dropped = 0, 0, 0
 }
 
 // CountByKind aggregates retained events.
 func (b *Buffer) CountByKind() map[Kind]int {
+	if b == nil {
+		return nil
+	}
 	out := make(map[Kind]int)
 	for _, e := range b.Events() {
 		out[e.Kind]++
@@ -119,6 +141,9 @@ func (b *Buffer) CountByKind() map[Kind]int {
 
 // NodeActivity counts retained events per node.
 func (b *Buffer) NodeActivity() map[int]int {
+	if b == nil {
+		return nil
+	}
 	out := make(map[int]int)
 	for _, e := range b.Events() {
 		out[e.Node]++
@@ -128,6 +153,9 @@ func (b *Buffer) NodeActivity() map[int]int {
 
 // Filter returns retained events matching kind, oldest first.
 func (b *Buffer) Filter(kind Kind) []Event {
+	if b == nil {
+		return nil
+	}
 	var out []Event
 	for _, e := range b.Events() {
 		if e.Kind == kind {
@@ -139,6 +167,9 @@ func (b *Buffer) Filter(kind Kind) []Event {
 
 // Format renders up to max events as an aligned text listing.
 func (b *Buffer) Format(max int) string {
+	if b == nil {
+		return ""
+	}
 	evs := b.Events()
 	if max > 0 && len(evs) > max {
 		evs = evs[len(evs)-max:]
@@ -158,6 +189,9 @@ func (b *Buffer) Format(max int) string {
 // goldens. Two buffers with the same capacity digest equal iff they saw the
 // same event sequence.
 func (b *Buffer) Digest() uint64 {
+	if b == nil {
+		return New(1).Digest() // the empty-buffer fingerprint
+	}
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -183,6 +217,9 @@ func (b *Buffer) Digest() uint64 {
 
 // Summary renders per-kind counts, sorted by kind.
 func (b *Buffer) Summary() string {
+	if b == nil {
+		return ""
+	}
 	var sb strings.Builder
 	for _, kc := range b.KindCounts() {
 		fmt.Fprintf(&sb, "%-12s %8d\n", kc.Kind, kc.Count)
